@@ -1,0 +1,216 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5), and carries one Bechamel micro-benchmark per
+   exhibit measuring the machinery that produces it.
+
+   Usage:
+     bench/main.exe            regenerate all figures (the full matrix)
+     bench/main.exe fig3       one figure: fig3 fig4 fig5 fig6 fig7 gat
+     bench/main.exe summary    headline numbers vs. the paper
+     bench/main.exe micro      run the Bechamel micro-benchmarks only
+     bench/main.exe quick      figures from a 5-benchmark subset *)
+
+let quick_subset = [ "alvinn"; "compress"; "li"; "tomcatv"; "spice" ]
+
+let selected_benchmarks quick =
+  if quick then
+    List.filter_map Workloads.Programs.find quick_subset
+  else Workloads.Programs.all
+
+(* --- the measurement matrix --- *)
+
+let build_matrix quick : Reports.Figures.matrix =
+  let benches = selected_benchmarks quick in
+  List.concat_map
+    (fun (b : Workloads.Programs.benchmark) ->
+      List.filter_map
+        (fun build ->
+          Printf.eprintf "[bench] measuring %-10s %-12s\r%!" b.name
+            (Workloads.Suite.build_name build);
+          match Reports.Measure.run_benchmark build b with
+          | Ok r ->
+              if not r.Reports.Measure.outputs_agree then
+                Printf.eprintf "[bench] WARNING: %s/%s outputs disagree!\n%!"
+                  b.name
+                  (Workloads.Suite.build_name build);
+              Some r
+          | Error m ->
+              Printf.eprintf "[bench] %s/%s failed: %s\n%!" b.name
+                (Workloads.Suite.build_name build) m;
+              None)
+        Workloads.Suite.all_builds)
+    benches
+
+let matrix_cache : Reports.Figures.matrix option ref = ref None
+
+let matrix quick =
+  match !matrix_cache with
+  | Some m -> m
+  | None ->
+      let m = build_matrix quick in
+      Printf.eprintf "\n%!";
+      matrix_cache := Some m;
+      m
+
+let timings quick =
+  List.map
+    (fun (b : Workloads.Programs.benchmark) ->
+      Printf.eprintf "[bench] timing %-10s\r%!" b.name;
+      (b.name, Reports.Measure.time_builds b))
+    (selected_benchmarks quick)
+
+(* --- Bechamel micro-benchmarks: one per table/figure --- *)
+
+let micro () =
+  let open Bechamel in
+  let li = Option.get (Workloads.Programs.find "li") in
+  let world = Workloads.Suite.compile_cached Workloads.Suite.Compile_each li in
+  let om level () =
+    match Om.optimize_resolved level world with
+    | Ok _ -> ()
+    | Error m -> failwith m
+  in
+  let std_image =
+    match Linker.Link.link_resolved world with
+    | Ok i -> i
+    | Error m -> failwith m
+  in
+  let tests =
+    [ (* Figures 3-5 are produced by the static transformation passes *)
+      Test.make ~name:"fig3/om-simple-pass" (Staged.stage (om Om.Simple));
+      Test.make ~name:"fig4/om-full-pass" (Staged.stage (om Om.Full));
+      Test.make ~name:"fig5/om-full-sched-pass" (Staged.stage (om Om.Full_sched));
+      (* Figure 6 requires simulating the linked program *)
+      Test.make ~name:"fig6/simulate-li"
+        (Staged.stage (fun () ->
+             match Machine.Cpu.run std_image with
+             | Ok _ -> ()
+             | Error _ -> failwith "fault"));
+      (* Figure 7's columns: the competing build paths *)
+      Test.make ~name:"fig7/standard-link"
+        (Staged.stage (fun () ->
+             match Linker.Link.link_resolved world with
+             | Ok _ -> ()
+             | Error m -> failwith m));
+      Test.make ~name:"fig7/om-noopt" (Staged.stage (om Om.No_opt));
+      (* the GAT table comes from the same full pass over a merged build *)
+      Test.make ~name:"gat/om-full-compile-all"
+        (Staged.stage
+           (let w =
+              Workloads.Suite.compile_cached Workloads.Suite.Compile_all li
+            in
+            fun () ->
+              match Om.optimize_resolved Om.Full w with
+              | Ok _ -> ()
+              | Error m -> failwith m)) ]
+  in
+  let grouped = Test.make_grouped ~name:"omlt" tests in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "Bechamel micro-benchmarks (monotonic clock, ns/run):\n";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
+         | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+
+(* --- ablation: price each OM-full feature by turning it off --- *)
+
+let ablation () =
+  let benches = [ "li"; "compress"; "tomcatv"; "hydro2d"; "spice" ] in
+  let variants =
+    let d = Om.Transform.default_options in
+    [ ("all-on", d);
+      ("-calls", { d with Om.Transform.opt_calls = false });
+      ("-addr", { d with Om.Transform.opt_addr = false });
+      ("-setup-motion", { d with Om.Transform.opt_setup_motion = false });
+      ("-setup-deletion", { d with Om.Transform.opt_setup_deletion = false }) ]
+  in
+  Printf.printf
+    "Ablation: dynamic %% improvement of OM-full over a standard link,
+     with one transformation disabled per column (compile-each):
+
+";
+  Printf.printf "%-10s" "program";
+  List.iter (fun (n, _) -> Printf.printf " %15s" n) variants;
+  print_newline ();
+  List.iter
+    (fun name ->
+      match Workloads.Programs.find name with
+      | None -> ()
+      | Some b ->
+          let world =
+            Workloads.Suite.compile_cached Workloads.Suite.Compile_each b
+          in
+          let std = Result.get_ok (Linker.Link.link_resolved world) in
+          let base =
+            match Machine.Cpu.run std with
+            | Ok o -> o.Machine.Cpu.stats.Machine.Cpu.cycles
+            | Error _ -> failwith "baseline fault"
+          in
+          let std_out =
+            match Machine.Cpu.run std with
+            | Ok o -> o.Machine.Cpu.output
+            | Error _ -> ""
+          in
+          Printf.printf "%-10s" name;
+          List.iter
+            (fun (_, opts) ->
+              match Om.optimize_resolved ~transform_options:opts Om.Full world with
+              | Ok { Om.image; _ } -> (
+                  match Machine.Cpu.run image with
+                  | Ok o ->
+                      assert (String.equal o.Machine.Cpu.output std_out);
+                      Printf.printf " %14.2f%%"
+                        (100.
+                        *. float_of_int (base - o.Machine.Cpu.stats.Machine.Cpu.cycles)
+                        /. float_of_int base)
+                  | Error _ -> Printf.printf " %15s" "FAULT")
+              | Error m -> Printf.printf " %15s" m)
+            variants;
+          print_newline ())
+    benches
+
+(* --- driver --- *)
+
+let print_figures quick which =
+  let ppf = Format.std_formatter in
+  let m = lazy (matrix quick) in
+  let show name f =
+    if which = "all" || which = name then begin
+      f ppf (Lazy.force m);
+      Format.fprintf ppf "@.@."
+    end
+  in
+  show "fig3" Reports.Figures.fig3;
+  show "fig4" Reports.Figures.fig4;
+  show "fig5" Reports.Figures.fig5;
+  show "fig6" Reports.Figures.fig6;
+  show "gat" Reports.Figures.gat_table;
+  if which = "all" || which = "fig7" then begin
+    Reports.Figures.fig7 ppf (timings quick);
+    Format.fprintf ppf "@.@."
+  end;
+  show "summary" Reports.Figures.summary
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "micro" -> micro ()
+  | "ablation" -> ablation ()
+  | "quick" -> print_figures true "all"
+  | ("fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "gat" | "summary") as w ->
+      print_figures false w
+  | "all" ->
+      print_figures false "all";
+      ablation ();
+      print_newline ();
+      micro ()
+  | other ->
+      Printf.eprintf
+        "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, ablation, all)\n"
+        other;
+      exit 2

@@ -1,0 +1,271 @@
+(* omlink — the command-line face of the system: a minic compiler, a
+   standard linker, the OM optimizing linker, a disassembler and the
+   machine simulator, in one binary. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* Inputs may be minic sources (.mc) or serialized objects (.o). *)
+let load_unit path =
+  if Filename.check_suffix path ".mc" then
+    Minic.Driver.compile_module ~prelude:Runtime.prelude
+      ~name:(Filename.remove_extension (Filename.basename path) ^ ".o")
+      (read_file path)
+  else
+    match Objfile.Obj_io.load path with
+    | Ok u -> u
+    | Error m -> failwith (Printf.sprintf "%s: %s" path m)
+
+let level_conv =
+  let parse = function
+    | "std" -> Ok `Std
+    | "noopt" -> Ok (`Om Om.No_opt)
+    | "simple" -> Ok (`Om Om.Simple)
+    | "full" -> Ok (`Om Om.Full)
+    | "sched" | "full+sched" -> Ok (`Om Om.Full_sched)
+    | s -> Error (`Msg (Printf.sprintf "unknown level %S" s))
+  in
+  let print ppf = function
+    | `Std -> Format.pp_print_string ppf "std"
+    | `Om l -> Format.pp_print_string ppf (Om.level_name l)
+  in
+  Arg.conv (parse, print)
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Input files (.mc sources or .o objects).")
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv (`Om Om.Full)
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:"Link level: std, noopt, simple, full, sched.")
+
+let handle_errors f = try f () with Failure m | Invalid_argument m ->
+  Printf.eprintf "omlink: %s\n" m;
+  exit 1
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Output object file.")
+  in
+  let merged =
+    Arg.(value & flag & info [ "merged" ] ~doc:"Compile all sources as one unit (compile-all style).")
+  in
+  let o0 = Arg.(value & flag & info [ "O0" ] ~doc:"Disable optimization.") in
+  let optimistic =
+    Arg.(value & flag
+         & info [ "G"; "optimistic" ]
+             ~doc:"Optimistic compilation: address scalar globals directly \
+                   GP-relative; the link fails if they don't fit the window.")
+  in
+  let run files out merged o0 optimistic =
+    handle_errors @@ fun () ->
+    let opt = if o0 then Minic.Driver.O0 else Minic.Driver.O2 in
+    let units =
+      if merged then
+        [ Minic.Driver.compile_merged ~opt ~optimistic ~prelude:Runtime.prelude
+            ~name:"merged.o"
+            (List.map (fun f -> (f, read_file f)) files) ]
+      else
+        List.map
+          (fun f ->
+            Minic.Driver.compile_module ~opt ~optimistic
+              ~prelude:Runtime.prelude
+              ~name:(Filename.remove_extension (Filename.basename f) ^ ".o")
+              (read_file f))
+          files
+    in
+    List.iter
+      (fun (u : Objfile.Cunit.t) ->
+        let path = Option.value out ~default:u.name in
+        Objfile.Obj_io.save path u;
+        Printf.printf "wrote %s (%d instructions, %d GAT entries)\n" path
+          (Objfile.Cunit.insn_count u)
+          (Array.length u.gat))
+      units
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile minic sources to object modules.")
+    Term.(const run $ files_arg $ out $ merged $ o0 $ optimistic)
+
+(* --- dis --- *)
+
+let dis_cmd =
+  let run files =
+    handle_errors @@ fun () ->
+    List.iter
+      (fun f -> Format.printf "%a@." Objfile.Cunit.pp (load_unit f))
+      files
+  in
+  Cmd.v
+    (Cmd.info "dis" ~doc:"Disassemble object modules with their relocations.")
+    Term.(const run $ files_arg)
+
+(* --- link / run --- *)
+
+let link_images level files =
+  let units = List.map load_unit files in
+  let archives = [ Runtime.libstd () ] in
+  match level with
+  | `Std -> (
+      match Linker.Link.link units ~archives with
+      | Ok image -> (image, None)
+      | Error m -> failwith m)
+  | `Om l -> (
+      match Om.link ~level:l units ~archives with
+      | Ok { Om.image; stats } -> (image, Some stats)
+      | Error m -> failwith m)
+
+let run_cmd =
+  let show_stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print optimizer statistics.")
+  in
+  let show_timing =
+    Arg.(value & flag & info [ "timing" ] ~doc:"Print simulated cycle counts.")
+  in
+  let run files level show_stats show_timing =
+    handle_errors @@ fun () ->
+    let image, stats = link_images level files in
+    (match (show_stats, stats) with
+    | true, Some s -> Format.printf "%a@." Om.Stats.pp s
+    | true, None -> Format.printf "(standard link: no optimizer statistics)@."
+    | false, _ -> ());
+    match Machine.Cpu.run image with
+    | Ok o ->
+        print_string o.Machine.Cpu.output;
+        if show_timing then
+          Printf.eprintf
+            "[%d instructions, %d cycles, %d i$ misses, %d d$ misses]\n"
+            o.Machine.Cpu.stats.Machine.Cpu.insns
+            o.Machine.Cpu.stats.Machine.Cpu.cycles
+            o.Machine.Cpu.stats.Machine.Cpu.icache_misses
+            o.Machine.Cpu.stats.Machine.Cpu.dcache_misses;
+        exit (Int64.to_int o.Machine.Cpu.exit_code land 0xff)
+    | Error e ->
+        Format.eprintf "omlink: simulation fault: %a@." Machine.Cpu.pp_error e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Link (with libstd) and execute on the machine simulator.")
+    Term.(const run $ files_arg $ level_arg $ show_stats $ show_timing)
+
+(* --- text dump of the linked image --- *)
+
+let image_cmd =
+  let run files level =
+    handle_errors @@ fun () ->
+    let image, _ = link_images level files in
+    Format.printf "%a@." Linker.Image.pp_disassembly image
+  in
+  Cmd.v
+    (Cmd.info "image" ~doc:"Print the disassembled linked image.")
+    Term.(const run $ files_arg $ level_arg)
+
+(* --- stats: compare every level for the given program --- *)
+
+let stats_cmd =
+  let run files =
+    handle_errors @@ fun () ->
+    let units = List.map load_unit files in
+    let archives = [ Runtime.libstd () ] in
+    let world =
+      match Linker.Resolve.run units ~archives with
+      | Ok w -> w
+      | Error m -> failwith m
+    in
+    let std =
+      match Linker.Link.link_resolved world with
+      | Ok i -> i
+      | Error m -> failwith m
+    in
+    let run_cycles image =
+      match Machine.Cpu.run image with
+      | Ok o -> o.Machine.Cpu.stats.Machine.Cpu.cycles
+      | Error _ -> -1
+    in
+    let base = run_cycles std in
+    Printf.printf "%-14s %10s %10s %8s\n" "level" "text insns" "cycles" "vs std";
+    Printf.printf "%-14s %10d %10d %8s\n" "standard"
+      (Linker.Image.insn_count std) base "-";
+    List.iter
+      (fun level ->
+        match Om.optimize_resolved level world with
+        | Ok { Om.image; stats } ->
+            let c = run_cycles image in
+            Printf.printf "%-14s %10d %10d %+7.2f%%\n" (Om.level_name level)
+              (Linker.Image.insn_count image) c
+              (100. *. float_of_int (base - c) /. float_of_int base);
+            if level = Om.Full then
+              Format.printf "  %a@." Om.Stats.pp stats
+        | Error m -> Printf.printf "%-14s failed: %s\n" (Om.level_name level) m)
+      Om.all_levels
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Link at every optimization level and compare size and cycles.")
+    Term.(const run $ files_arg)
+
+(* --- suite --- *)
+
+let suite_cmd =
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ] ~docv:"NAME" ~doc:"Run a single benchmark.")
+  in
+  let run bench =
+    handle_errors @@ fun () ->
+    let benches =
+      match bench with
+      | Some n -> (
+          match Workloads.Programs.find n with
+          | Some b -> [ b ]
+          | None ->
+              failwith
+                (Printf.sprintf "unknown benchmark %s (know: %s)" n
+                   (String.concat ", " Workloads.Programs.names)))
+      | None -> Workloads.Programs.all
+    in
+    List.iter
+      (fun (b : Workloads.Programs.benchmark) ->
+        List.iter
+          (fun build ->
+            match Reports.Measure.run_benchmark build b with
+            | Ok r ->
+                Printf.printf "%-10s %-12s std=%d %s agree=%b\n%!" b.name
+                  (Workloads.Suite.build_name build)
+                  r.Reports.Measure.std_cycles
+                  (String.concat " "
+                     (List.map
+                        (fun (run : Reports.Measure.run) ->
+                          Printf.sprintf "%s=%+.1f%%"
+                            (Om.level_name run.level)
+                            (Reports.Measure.improvement r run.level))
+                        r.Reports.Measure.runs))
+                  r.Reports.Measure.outputs_agree
+            | Error m ->
+                Printf.printf "%-10s %-12s ERROR %s\n%!" b.name
+                  (Workloads.Suite.build_name build) m)
+          Workloads.Suite.all_builds)
+      benches
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run the SPEC92-analogue benchmark matrix.")
+    Term.(const run $ bench)
+
+let main =
+  Cmd.group
+    (Cmd.info "omlink" ~version:"1.0"
+       ~doc:
+         "Link-time optimization of address calculation on a 64-bit \
+          architecture (Srivastava & Wall, PLDI 1994), reproduced.")
+    [ compile_cmd; dis_cmd; run_cmd; image_cmd; stats_cmd; suite_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/address_audit.ml: Array Format Hashtbl Linker List Minic Om Option Printf Result Runtime

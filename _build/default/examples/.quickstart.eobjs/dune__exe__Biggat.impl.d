@@ -1,0 +1,1 @@
+examples/biggat.ml: Array Buffer Format Linker List Machine Minic Objfile Om Printf Result Runtime

@@ -1,0 +1,1 @@
+examples/instrument.ml: Array Format Isa Linker Machine Minic Om Printf Result Runtime

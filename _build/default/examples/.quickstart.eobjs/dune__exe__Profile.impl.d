@@ -1,0 +1,1 @@
+examples/profile.ml: Array Format Hashtbl Linker List Machine Om Option Printf Result Sys Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Linker List Machine Minic Om Printf Result Runtime String

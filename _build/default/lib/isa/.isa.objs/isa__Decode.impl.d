@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Bytes Format Insn Int32 List Reg

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bytes Insn Int32 List Printf Reg

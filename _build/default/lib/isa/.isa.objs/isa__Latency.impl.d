@@ -1,0 +1,1 @@
+lib/isa/latency.ml: Insn List Reg

@@ -1,0 +1,1 @@
+lib/isa/schedule.ml: Array Insn Latency List Reg

@@ -1,0 +1,1 @@
+lib/isa/schedule.mli: Insn Latency Reg

@@ -1,0 +1,20 @@
+(** Decoding 32-bit instruction words back into {!Insn.t}.
+
+    [decode] is a left inverse of {!Encode.insn} on every encodable
+    instruction (a property the test suite checks exhaustively by random
+    round-trips). Words that do not correspond to any instruction in the
+    modelled subset decode to [Error]. *)
+
+type error = Bad_opcode of int | Bad_function of { opcode : int; funct : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val decode : int -> (Insn.t, error) result
+(** [decode w] decodes the instruction word [w] (taken modulo 2^32). *)
+
+val decode_exn : int -> Insn.t
+(** Like {!decode} but raises [Invalid_argument] on undecodable words. *)
+
+val of_bytes : Bytes.t -> (Insn.t list, error) result
+(** Decode a little-endian instruction stream; the byte length must be a
+    multiple of 4. *)

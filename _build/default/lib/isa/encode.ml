@@ -1,0 +1,80 @@
+let opcode = function
+  | Insn.Lda _ -> 0x08
+  | Insn.Ldah _ -> 0x09
+  | Insn.Ldq _ -> 0x29
+  | Insn.Stq _ -> 0x2d
+  | Insn.Br _ -> 0x30
+  | Insn.Bsr _ -> 0x34
+  | Insn.Bcond { cond; _ } -> (
+      match cond with
+      | Blbc -> 0x38 | Beq -> 0x39 | Blt -> 0x3a | Ble -> 0x3b
+      | Blbs -> 0x3c | Bne -> 0x3d | Bge -> 0x3e | Bgt -> 0x3f)
+  | Insn.Jump _ -> 0x1a
+  | Insn.Op { op; _ } -> (
+      match op with
+      | Addq | Subq | Cmpeq | Cmplt | Cmple | Cmpult | Cmpule -> 0x10
+      | And_ | Bis | Xor | Ornot -> 0x11
+      | Sll | Srl | Sra -> 0x12
+      | Mulq -> 0x13)
+  | Insn.Call_pal _ -> 0x00
+
+let funct : Insn.binop -> int = function
+  | Addq -> 0x20 | Subq -> 0x29
+  | Cmpeq -> 0x2d | Cmplt -> 0x4d | Cmple -> 0x6d
+  | Cmpult -> 0x1d | Cmpule -> 0x3d
+  | And_ -> 0x00 | Bis -> 0x20 | Xor -> 0x40 | Ornot -> 0x28
+  | Sll -> 0x39 | Srl -> 0x34 | Sra -> 0x3c
+  | Mulq -> 0x20
+
+let check_disp16 d =
+  if not (Insn.fits_disp16 d) then
+    invalid_arg (Printf.sprintf "Encode: displacement %d exceeds 16 bits" d)
+
+let check_disp21 d =
+  if not (Insn.fits_disp21 d) then
+    invalid_arg (Printf.sprintf "Encode: branch displacement %d exceeds 21 bits" d)
+
+let r = Reg.to_int
+
+let memory op ra rb disp =
+  check_disp16 disp;
+  (op lsl 26) lor (r ra lsl 21) lor (r rb lsl 16) lor (disp land 0xffff)
+
+let branch op ra disp =
+  check_disp21 disp;
+  (op lsl 26) lor (r ra lsl 21) lor (disp land 0x1fffff)
+
+let insn i =
+  let op = opcode i in
+  match i with
+  | Insn.Lda { ra; rb; disp }
+  | Insn.Ldah { ra; rb; disp }
+  | Insn.Ldq { ra; rb; disp }
+  | Insn.Stq { ra; rb; disp } -> memory op ra rb disp
+  | Insn.Br { ra; disp } | Insn.Bsr { ra; disp } -> branch op ra disp
+  | Insn.Bcond { ra; disp; _ } -> branch op ra disp
+  | Insn.Jump { kind; ra; rb; hint } ->
+      if hint < 0 || hint > 0x3fff then
+        invalid_arg (Printf.sprintf "Encode: jump hint %d exceeds 14 bits" hint);
+      let k = match kind with Jmp -> 0 | Jsr -> 1 | Ret -> 2 in
+      (op lsl 26) lor (r ra lsl 21) lor (r rb lsl 16) lor (k lsl 14) lor hint
+  | Insn.Op { op = bop; ra; rb; rc } -> (
+      let base = (op lsl 26) lor (r ra lsl 21) lor (funct bop lsl 5) lor r rc in
+      match rb with
+      | Rb rb -> base lor (r rb lsl 16)
+      | Imm n ->
+          if n < 0 || n > 255 then
+            invalid_arg (Printf.sprintf "Encode: literal %d exceeds 8 bits" n);
+          base lor (n lsl 13) lor (1 lsl 12))
+  | Insn.Call_pal f ->
+      if f < 0 || f > 0x3ffffff then
+        invalid_arg (Printf.sprintf "Encode: PAL function %#x exceeds 26 bits" f);
+      f
+
+let to_bytes insns =
+  let buf = Bytes.create (4 * List.length insns) in
+  List.iteri
+    (fun idx i ->
+      Bytes.set_int32_le buf (4 * idx) (Int32.of_int (insn i)))
+    insns;
+  buf

@@ -1,0 +1,21 @@
+(** Encoding instructions into 32-bit instruction words.
+
+    The word layouts follow the Alpha AXP formats:
+
+    - memory format: [op(6) ra(5) rb(5) disp(16)];
+    - branch format: [op(6) ra(5) disp(21)];
+    - memory-format jumps: opcode [0x1a] with the jump kind in bits 15:14 of
+      the displacement field and a 14-bit hint below it;
+    - operate format: [op(6) ra(5) rb(5) 000 0 func(7) rc(5)] for the
+      register form and [op(6) ra(5) lit(8) 1 func(7) rc(5)] for the 8-bit
+      literal form;
+    - PALcode format: [op(6) func(26)].
+
+    Words are returned as non-negative OCaml ints in [0, 2^32). *)
+
+val insn : Insn.t -> int
+(** [insn i] is the instruction word for [i]. Raises [Invalid_argument] if a
+    displacement or literal does not fit its field. *)
+
+val to_bytes : Insn.t list -> Bytes.t
+(** Little-endian concatenation of the encodings. *)

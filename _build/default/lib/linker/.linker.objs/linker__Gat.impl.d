@@ -1,0 +1,1 @@
+lib/linker/gat.ml: Array Hashtbl Layout List Objfile Printf Resolve

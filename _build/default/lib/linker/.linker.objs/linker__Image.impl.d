@@ -1,0 +1,1 @@
+lib/linker/image.ml: Array Bytes Format Isa List Option Result String

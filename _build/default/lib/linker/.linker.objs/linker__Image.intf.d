@@ -1,0 +1,1 @@
+lib/linker/image.mli: Bytes Format Isa

@@ -1,0 +1,1 @@
+lib/linker/link.ml: Array Bytes Gat Hashtbl Image Int32 Int64 Isa Layout List Objfile Printf Resolve Result Seq

@@ -1,0 +1,1 @@
+lib/linker/resolve.ml: Array Format Hashtbl List Objfile Option Printf Result Seq

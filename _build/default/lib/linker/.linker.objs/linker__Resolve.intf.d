@@ -1,0 +1,1 @@
+lib/linker/resolve.mli: Hashtbl Objfile

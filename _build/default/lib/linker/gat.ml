@@ -1,0 +1,71 @@
+type key =
+  | Kaddr of Resolve.target * int
+  | Kconst of int64
+
+type t = {
+  slots : key array;
+  group_of_module : int array;
+  ngroups : int;
+  group_first_slot : int array;
+  module_slot : int array array;
+}
+
+let key_of_entry world m = function
+  | Objfile.Gat_entry.Addr { symbol; addend } ->
+      Kaddr (Resolve.resolve_exn world m symbol, addend)
+  | Objfile.Gat_entry.Const c -> Kconst c
+
+let merge ?(capacity = Layout.gat_group_capacity) (world : Resolve.t) =
+  let nmods = Array.length world.Resolve.modules in
+  let group_of_module = Array.make nmods 0 in
+  let module_slot = Array.make nmods [||] in
+  let slots = ref [] in
+  let nslots = ref 0 in
+  let group_first = ref [ 0 ] in
+  let cur_group = ref 0 in
+  let cur_index : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun m (u : Objfile.Cunit.t) ->
+      let keys = Array.map (key_of_entry world m) u.gat in
+      let seen = Hashtbl.create 16 in
+      let fresh =
+        Array.fold_left
+          (fun acc k ->
+            if Hashtbl.mem cur_index k || Hashtbl.mem seen k then acc
+            else (Hashtbl.replace seen k (); acc + 1))
+          0 keys
+      in
+      let group_fill = !nslots - List.hd !group_first in
+      if group_fill + fresh > capacity && group_fill > 0 then begin
+        incr cur_group;
+        group_first := !nslots :: !group_first;
+        Hashtbl.reset cur_index
+      end;
+      if fresh > capacity then
+        invalid_arg
+          (Printf.sprintf "Gat.merge: module %s needs %d slots (> capacity %d)"
+             u.name fresh capacity);
+      group_of_module.(m) <- !cur_group;
+      module_slot.(m) <-
+        Array.map
+          (fun k ->
+            match Hashtbl.find_opt cur_index k with
+            | Some s -> s
+            | None ->
+                let s = !nslots in
+                incr nslots;
+                slots := k :: !slots;
+                Hashtbl.replace cur_index k s;
+                s)
+          keys)
+    world.Resolve.modules;
+  { slots = Array.of_list (List.rev !slots);
+    group_of_module;
+    ngroups = !cur_group + 1;
+    group_first_slot = Array.of_list (List.rev !group_first);
+    module_slot }
+
+let slot_of t ~m ~local_index = t.module_slot.(m).(local_index)
+
+let size_bytes t = 8 * Array.length t.slots
+let group_base_offset t g = 8 * t.group_first_slot.(g)

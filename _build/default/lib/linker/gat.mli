@@ -1,0 +1,35 @@
+(** Merging per-module GATs into linked GAT groups.
+
+    The linker treats module GATs as literal pools: duplicate entries are
+    removed and the pools are merged into one big table when possible. A
+    group may hold at most {!Layout.gat_group_capacity} slots (everything in
+    a group must be reachable from that group's GP with a signed 16-bit
+    displacement); when the program is too big, further groups are opened
+    and every procedure records which group — hence which GP value — it
+    uses. A module's entries always land in a single group, so procedures
+    of one module share a GP value. *)
+
+type key =
+  | Kaddr of Resolve.target * int  (** address of target + addend *)
+  | Kconst of int64
+
+type t = {
+  slots : key array;            (** the merged table, groups concatenated *)
+  group_of_module : int array;  (** GAT group of each module *)
+  ngroups : int;
+  group_first_slot : int array; (** index of each group's first slot *)
+  module_slot : int array array;
+      (** merged slot of each module's local GAT index *)
+}
+
+val merge : ?capacity:int -> Resolve.t -> t
+(** Merge the GATs of every module of the program. [capacity] defaults to
+    {!Layout.gat_group_capacity}; smaller values are used by tests and by
+    the [biggat] example to force multi-group programs. *)
+
+val slot_of : t -> m:int -> local_index:int -> int
+(** The merged slot holding module [m]'s GAT entry [local_index]. *)
+
+val size_bytes : t -> int
+val group_base_offset : t -> int -> int
+(** Byte offset of a group's first slot within the merged table. *)

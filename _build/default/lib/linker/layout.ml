@@ -1,0 +1,14 @@
+let text_base = 0x1_2000_0000
+let data_base = 0x1_4000_0000
+let stack_top = 0x1_6000_0000
+let stack_bytes = 1 lsl 20
+
+let gp_window_offset = 0x7ff0
+
+(* With GP at group base + 0x7ff0, slot [i] sits at displacement
+   [8i - 0x7ff0]; the largest legal displacement is 32767, so the group may
+   hold at most (32767 + 32752) / 8 = 8189 slots. Keep a margin. *)
+let gat_group_capacity = 8000
+
+let align n a = (n + a - 1) land lnot (a - 1)
+let section_alignment = 16

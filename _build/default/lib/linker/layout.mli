@@ -1,0 +1,25 @@
+(** Memory-layout conventions of the simulated OSF/1-like system.
+
+    Text and data live in separate regions ~512MB apart (well inside the
+    32-bit span an [ldah]/[lda] pair can cover), the stack grows down from
+    its own region, and the heap starts where the loaded data region ends. *)
+
+val text_base : int    (* 0x1_2000_0000 *)
+val data_base : int    (* 0x1_4000_0000 *)
+val stack_top : int    (* 0x1_6000_0000 *)
+val stack_bytes : int
+
+val gp_window_offset : int
+(** Offset of the GP from the base of its GAT group: [0x7ff0], so the
+    signed 16-bit window reaches the whole group and some distance beyond
+    it (where the optimizer likes to place small data). *)
+
+val gat_group_capacity : int
+(** Maximum 8-byte entries per GAT group such that every slot stays
+    addressable from the group's GP. *)
+
+val align : int -> int -> int
+(** [align n a] rounds [n] up to a multiple of [a] (a power of two). *)
+
+val section_alignment : int
+(** Alignment applied between concatenated sections (16). *)

@@ -1,0 +1,232 @@
+type layout_info = {
+  text_off : int array;
+  data_off : int array;
+  sdata_off : int array;
+  sbss_off : int array;
+  bss_off : int array;
+  lita_off : int;
+  common_off : (string * int) list;
+  data_total : int;
+}
+
+let layout_standard (world : Resolve.t) (gat : Gat.t) =
+  let nmods = Array.length world.Resolve.modules in
+  let text_off = Array.make nmods 0 in
+  let _ =
+    Array.to_seqi world.Resolve.modules
+    |> Seq.fold_left
+         (fun off (m, (u : Objfile.Cunit.t)) ->
+           let off = Layout.align off 8 in
+           text_off.(m) <- off;
+           off + Bytes.length u.text)
+         0
+  in
+  let data_off = Array.make nmods 0 in
+  let sdata_off = Array.make nmods 0 in
+  let sbss_off = Array.make nmods 0 in
+  let bss_off = Array.make nmods 0 in
+  let cursor = ref 0 in
+  let place (per_module : int array) size_of =
+    cursor := Layout.align !cursor Layout.section_alignment;
+    Array.iteri
+      (fun m u ->
+        let sz = Layout.align (size_of u) 8 in
+        per_module.(m) <- !cursor;
+        cursor := !cursor + sz)
+      world.Resolve.modules
+  in
+  place data_off (fun u -> Bytes.length u.Objfile.Cunit.data);
+  cursor := Layout.align !cursor Layout.section_alignment;
+  let lita_off = !cursor in
+  cursor := !cursor + Gat.size_bytes gat;
+  place sdata_off (fun u -> Bytes.length u.Objfile.Cunit.sdata);
+  place sbss_off (fun u -> u.Objfile.Cunit.sbss_size);
+  place bss_off (fun u -> u.Objfile.Cunit.bss_size);
+  cursor := Layout.align !cursor Layout.section_alignment;
+  let common_off =
+    Array.to_list world.Resolve.objs
+    |> List.filter_map (fun (o : Resolve.obj_rec) ->
+           match o.o_placement with
+           | Resolve.Common ->
+               let off = !cursor in
+               cursor := !cursor + Layout.align o.o_size 8;
+               Some (o.o_name, off)
+           | Resolve.In_section _ -> None)
+  in
+  { text_off;
+    data_off;
+    sdata_off;
+    sbss_off;
+    bss_off;
+    lita_off;
+    common_off;
+    data_total = Layout.align !cursor 16 }
+
+let section_off lay m = function
+  | Objfile.Section.Data -> lay.data_off.(m)
+  | Objfile.Section.Sdata -> lay.sdata_off.(m)
+  | Objfile.Section.Sbss -> lay.sbss_off.(m)
+  | Objfile.Section.Bss -> lay.bss_off.(m)
+  | Objfile.Section.Gat -> lay.lita_off
+  | Objfile.Section.Text ->
+      invalid_arg "Link.section_off: text is not a data section"
+
+let address_of_target (world : Resolve.t) lay = function
+  | Resolve.Tproc i ->
+      let p = world.Resolve.procs.(i) in
+      Layout.text_base + lay.text_off.(p.p_module) + p.p_offset
+  | Resolve.Tobj i -> (
+      let o = world.Resolve.objs.(i) in
+      match o.o_placement with
+      | Resolve.In_section { s_module; section; offset } ->
+          Layout.data_base + section_off lay s_module section + offset
+      | Resolve.Common ->
+          let off =
+            List.assoc o.o_name lay.common_off
+          in
+          Layout.data_base + off)
+
+let link_resolved ?gat_capacity (world : Resolve.t) =
+  match
+    let gat =
+      match gat_capacity with
+      | Some c -> Gat.merge ~capacity:c world
+      | None -> Gat.merge world
+    in
+    let lay = layout_standard world gat in
+    let nmods = Array.length world.Resolve.modules in
+    (* text segment *)
+    let text_total =
+      if nmods = 0 then 0
+      else
+        let last = nmods - 1 in
+        lay.text_off.(last)
+        + Bytes.length world.Resolve.modules.(last).Objfile.Cunit.text
+    in
+    let text = Bytes.make (Layout.align text_total 8) '\000' in
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        Bytes.blit u.text 0 text lay.text_off.(m) (Bytes.length u.text))
+      world.Resolve.modules;
+    (* data segment, zero-filled through bss *)
+    let data = Bytes.make lay.data_total '\000' in
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        Bytes.blit u.data 0 data lay.data_off.(m) (Bytes.length u.data);
+        Bytes.blit u.sdata 0 data lay.sdata_off.(m) (Bytes.length u.sdata))
+      world.Resolve.modules;
+    (* GP values per group *)
+    let gp_of_group g =
+      Layout.data_base + lay.lita_off + Gat.group_base_offset gat g
+      + Layout.gp_window_offset
+    in
+    (* fill GAT slots *)
+    Array.iteri
+      (fun s key ->
+        let v =
+          match key with
+          | Gat.Kaddr (tgt, addend) ->
+              Int64.of_int (address_of_target world lay tgt + addend)
+          | Gat.Kconst c -> c
+        in
+        Bytes.set_int64_le data (lay.lita_off + (8 * s)) v)
+      gat.Gat.slots;
+    (* patch text relocations *)
+    let patch16 ~text_pos value =
+      if not (Isa.Insn.fits_disp16 value) then
+        invalid_arg
+          (Printf.sprintf "Link: displacement %d exceeds 16 bits at %#x" value
+             (Layout.text_base + text_pos));
+      let w = Int32.to_int (Bytes.get_int32_le text text_pos) land 0xffffffff in
+      let w = w land lnot 0xffff lor (value land 0xffff) in
+      Bytes.set_int32_le text text_pos (Int32.of_int w)
+    in
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        let mbase = lay.text_off.(m) in
+        let group = gat.Gat.group_of_module.(m) in
+        let gp = gp_of_group group in
+        List.iter
+          (fun (r : Objfile.Reloc.t) ->
+            match r.kind with
+            | Objfile.Reloc.Literal { gat_index } ->
+                let slot = Gat.slot_of gat ~m ~local_index:gat_index in
+                let slot_addr = Layout.data_base + lay.lita_off + (8 * slot) in
+                patch16 ~text_pos:(mbase + r.offset) (slot_addr - gp)
+            | Objfile.Reloc.Gpdisp { anchor; pair } ->
+                let base_value = Layout.text_base + mbase + anchor in
+                let hi, lo = Isa.Insn.split32 (gp - base_value) in
+                patch16 ~text_pos:(mbase + r.offset) hi;
+                patch16 ~text_pos:(mbase + pair) lo
+            | Objfile.Reloc.Lituse_base _ | Objfile.Reloc.Lituse_jsr _ -> ()
+            | Objfile.Reloc.Refquad { symbol; addend } ->
+                let addr =
+                  address_of_target world lay (Resolve.resolve_exn world m symbol)
+                  + addend
+                in
+                let pos = section_off lay m r.section + r.offset in
+                Bytes.set_int64_le data pos (Int64.of_int addr)
+            | Objfile.Reloc.Gprel16 { symbol; addend } ->
+                (* optimistic compilation: the compiler bet that this datum
+                   lands in the GP window; verify the bet *)
+                let addr =
+                  address_of_target world lay (Resolve.resolve_exn world m symbol)
+                  + addend
+                in
+                let disp = addr - gp in
+                if not (Isa.Insn.fits_disp16 disp) then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Link: %s is outside the GP window (optimistic \
+                        compilation failed; recompile %s without -G)"
+                       symbol
+                       world.Resolve.modules.(m).Objfile.Cunit.name);
+                patch16 ~text_pos:(mbase + r.offset) disp)
+          u.relocs)
+      world.Resolve.modules;
+    (* metadata *)
+    let procs =
+      Array.map
+        (fun (p : Resolve.proc_rec) ->
+          { Image.name = p.p_name;
+            entry = Layout.text_base + lay.text_off.(p.p_module) + p.p_offset;
+            size = p.p_size;
+            gp_value = gp_of_group gat.Gat.group_of_module.(p.p_module);
+            module_name = world.Resolve.modules.(p.p_module).Objfile.Cunit.name;
+            exported = p.p_exported;
+            uses_gp = p.p_uses_gp;
+            gp_setup_at_entry = p.p_gp_at_entry })
+        world.Resolve.procs
+    in
+    let symbols =
+      Hashtbl.fold
+        (fun name tgt acc -> (name, address_of_target world lay tgt) :: acc)
+        world.Resolve.globals []
+      |> List.sort compare
+    in
+    let image =
+      { Image.text_base = Layout.text_base;
+        text;
+        data_base = Layout.data_base;
+        data;
+        entry =
+          (let p = world.Resolve.procs.(world.Resolve.entry_proc) in
+           Layout.text_base + lay.text_off.(p.p_module) + p.p_offset);
+        procs;
+        symbols;
+        heap_base = Layout.align (Layout.data_base + lay.data_total) 4096;
+        gat_base = Layout.data_base + lay.lita_off;
+        gat_bytes = Gat.size_bytes gat;
+        ngroups = gat.Gat.ngroups }
+    in
+    (match Image.validate image with
+    | Ok () -> ()
+    | Error m -> invalid_arg ("Link: invalid image: " ^ m));
+    image
+  with
+  | image -> Ok image
+  | exception Invalid_argument m -> Error m
+
+let link ?entry ?gat_capacity units ~archives =
+  Result.bind (Resolve.run ?entry units ~archives) (fun world ->
+      link_resolved ?gat_capacity world)

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Buffer Bytes Cache Char Format Int64 Isa Linker List Option

@@ -1,0 +1,41 @@
+type t = {
+  line_shift : int;
+  index_mask : int;
+  tags : int array;            (* -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~size_bytes ~line_bytes =
+  if not (is_pow2 size_bytes && is_pow2 line_bytes && line_bytes <= size_bytes)
+  then invalid_arg "Cache.create: sizes must be powers of two";
+  let nlines = size_bytes / line_bytes in
+  { line_shift = log2 line_bytes;
+    index_mask = nlines - 1;
+    tags = Array.make nlines (-1);
+    hits = 0;
+    misses = 0 }
+
+let access t addr =
+  let line = addr lsr t.line_shift in
+  let idx = line land t.index_mask in
+  if t.tags.(idx) = line then (t.hits <- t.hits + 1; true)
+  else begin
+    t.tags.(idx) <- line;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hits <- 0;
+  t.misses <- 0

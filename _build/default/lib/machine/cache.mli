@@ -1,0 +1,16 @@
+(** A direct-mapped cache model (the 21064 had 8KB direct-mapped split
+    instruction and data caches). Only hit/miss behaviour is modelled — no
+    data is stored. *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> t
+(** Both sizes must be powers of two. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr] and reports whether
+    it was a hit. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset : t -> unit

@@ -1,0 +1,315 @@
+type config = {
+  icache_bytes : int;
+  dcache_bytes : int;
+  line_bytes : int;
+  icache_miss_penalty : int;
+  dcache_miss_penalty : int;
+  branch_penalty : int;
+  dual_issue : bool;
+  heap_max : int;
+  max_insns : int;
+}
+
+let default_config =
+  { icache_bytes = 8192;
+    dcache_bytes = 8192;
+    line_bytes = 32;
+    icache_miss_penalty = 8;
+    dcache_miss_penalty = 10;
+    branch_penalty = 1;
+    dual_issue = true;
+    heap_max = 1 lsl 24;
+    max_insns = 400_000_000 }
+
+type stats = {
+  insns : int;
+  cycles : int;
+  loads : int;
+  stores : int;
+  icache_misses : int;
+  dcache_misses : int;
+  nops_executed : int;
+}
+
+type outcome = {
+  exit_code : int64;
+  output : string;
+  stats : stats;
+}
+
+type error =
+  | Unaligned_access of int
+  | Out_of_range_access of int
+  | Undecodable of int
+  | Bad_syscall of int64
+  | Heap_exhausted
+  | Insn_limit_reached
+
+let pp_error ppf = function
+  | Unaligned_access a -> Format.fprintf ppf "unaligned access at %#x" a
+  | Out_of_range_access a -> Format.fprintf ppf "access out of range at %#x" a
+  | Undecodable a -> Format.fprintf ppf "undecodable instruction at %#x" a
+  | Bad_syscall v -> Format.fprintf ppf "unknown system call %Ld" v
+  | Heap_exhausted -> Format.fprintf ppf "heap exhausted"
+  | Insn_limit_reached -> Format.fprintf ppf "instruction limit reached"
+
+exception Fault of error
+
+module R = Isa.Reg
+module I = Isa.Insn
+
+type machine = {
+  cfg : config;
+  text_base : int;
+  code : I.t array;
+  data_base : int;
+  data : Bytes.t;              (* data region + heap *)
+  stack_base : int;
+  stack : Bytes.t;
+  regs : int64 array;
+  mutable brk : int;
+  heap_limit : int;
+  out : Buffer.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  ready : int array;           (* cycle at which each register is available *)
+  mutable ninsns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable nops : int;
+}
+
+let rget m r = if r = 31 then 0L else m.regs.(r)
+let rset m r v = if r <> 31 then m.regs.(r) <- v
+
+let mem m addr =
+  (* returns (bytes, offset) *)
+  if addr >= m.data_base && addr < m.data_base + Bytes.length m.data then
+    (m.data, addr - m.data_base)
+  else if addr >= m.stack_base && addr < m.stack_base + Bytes.length m.stack
+  then (m.stack, addr - m.stack_base)
+  else raise (Fault (Out_of_range_access addr))
+
+let read64 m addr =
+  if addr land 7 <> 0 then raise (Fault (Unaligned_access addr));
+  let b, off = mem m addr in
+  Bytes.get_int64_le b off
+
+let write64 m addr v =
+  if addr land 7 <> 0 then raise (Fault (Unaligned_access addr));
+  let b, off = mem m addr in
+  Bytes.set_int64_le b off v
+
+let operand m = function
+  | I.Rb r -> rget m (R.to_int r)
+  | I.Imm n -> Int64.of_int n
+
+let bool64 c = if c then 1L else 0L
+
+let eval_op m (op : I.binop) ra rb =
+  let a = rget m (R.to_int ra) in
+  let b = operand m rb in
+  match op with
+  | I.Addq -> Int64.add a b
+  | I.Subq -> Int64.sub a b
+  | I.Mulq -> Int64.mul a b
+  | I.Cmpeq -> bool64 (Int64.equal a b)
+  | I.Cmplt -> bool64 (Int64.compare a b < 0)
+  | I.Cmple -> bool64 (Int64.compare a b <= 0)
+  | I.Cmpult -> bool64 (Int64.unsigned_compare a b < 0)
+  | I.Cmpule -> bool64 (Int64.unsigned_compare a b <= 0)
+  | I.And_ -> Int64.logand a b
+  | I.Bis -> Int64.logor a b
+  | I.Xor -> Int64.logxor a b
+  | I.Ornot -> Int64.logor a (Int64.lognot b)
+  | I.Sll -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | I.Srl -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+  | I.Sra -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+
+let cond_true (c : I.cond) v =
+  match c with
+  | I.Beq -> Int64.equal v 0L
+  | I.Bne -> not (Int64.equal v 0L)
+  | I.Blt -> Int64.compare v 0L < 0
+  | I.Ble -> Int64.compare v 0L <= 0
+  | I.Bge -> Int64.compare v 0L >= 0
+  | I.Bgt -> Int64.compare v 0L > 0
+  | I.Blbc -> Int64.equal (Int64.logand v 1L) 0L
+  | I.Blbs -> Int64.equal (Int64.logand v 1L) 1L
+
+(* System calls; returns [Some code] when the program exits. *)
+let syscall m =
+  let v0 = rget m (R.to_int R.v0) in
+  let a0 = rget m (R.to_int R.a0) in
+  match v0 with
+  | 0L -> Some a0
+  | 1L ->
+      Buffer.add_string m.out (Int64.to_string a0);
+      None
+  | 2L ->
+      Buffer.add_char m.out (Char.chr (Int64.to_int a0 land 0xff));
+      None
+  | 3L ->
+      let rec go addr =
+        let q = read64 m (Int64.to_int addr) in
+        if not (Int64.equal q 0L) then begin
+          Buffer.add_char m.out (Char.chr (Int64.to_int q land 0xff));
+          go (Int64.add addr 8L)
+        end
+      in
+      go a0;
+      None
+  | 4L ->
+      let n = (Int64.to_int a0 + 15) land lnot 15 in
+      if m.brk + n > m.heap_limit then raise (Fault Heap_exhausted);
+      rset m (R.to_int R.v0) (Int64.of_int m.brk);
+      m.brk <- m.brk + n;
+      None
+  | v -> raise (Fault (Bad_syscall v))
+
+let run ?(config = default_config) ?trace (image : Linker.Image.t) =
+  let code =
+    match Isa.Decode.of_bytes image.Linker.Image.text with
+    | Ok is -> Array.of_list is
+    | Error _ -> [||]
+  in
+  if code = [||] && Bytes.length image.Linker.Image.text > 0 then
+    Error (Undecodable image.Linker.Image.text_base)
+  else begin
+    let data_len =
+      image.Linker.Image.heap_base - image.Linker.Image.data_base
+      + config.heap_max
+    in
+    let data = Bytes.make data_len '\000' in
+    Bytes.blit image.Linker.Image.data 0 data 0
+      (Bytes.length image.Linker.Image.data);
+    let m =
+      { cfg = config;
+        text_base = image.Linker.Image.text_base;
+        code;
+        data_base = image.Linker.Image.data_base;
+        data;
+        stack_base = Linker.Layout.stack_top - Linker.Layout.stack_bytes;
+        stack = Bytes.make Linker.Layout.stack_bytes '\000';
+        regs = Array.make 32 0L;
+        brk = image.Linker.Image.heap_base;
+        heap_limit = image.Linker.Image.heap_base + config.heap_max - 16;
+        out = Buffer.create 256;
+        icache = Cache.create ~size_bytes:config.icache_bytes
+                   ~line_bytes:config.line_bytes;
+        dcache = Cache.create ~size_bytes:config.dcache_bytes
+                   ~line_bytes:config.line_bytes;
+        ready = Array.make 32 0;
+        ninsns = 0;
+        loads = 0;
+        stores = 0;
+        nops = 0 }
+    in
+    rset m (R.to_int R.sp) (Int64.of_int (Linker.Layout.stack_top - 64));
+    rset m (R.to_int R.pv) (Int64.of_int image.Linker.Image.entry);
+    let pc = ref image.Linker.Image.entry in
+    let last_issue = ref (-1) in
+    let last_pc = ref min_int in
+    let last_pipe = ref None in
+    let last_was_ctl = ref true in
+    let finished = ref None in
+    (try
+       while Option.is_none !finished do
+         if m.ninsns >= config.max_insns then
+           raise (Fault Insn_limit_reached);
+         let idx = (!pc - m.text_base) asr 2 in
+         if idx < 0 || idx >= Array.length code then
+           raise (Fault (Out_of_range_access !pc));
+         let insn = code.(idx) in
+         (match trace with Some f -> f ~pc:!pc insn | None -> ());
+         m.ninsns <- m.ninsns + 1;
+         if I.is_nop insn then m.nops <- m.nops + 1;
+         (* --- timing --- *)
+         let fetch_penalty =
+           if Cache.access m.icache !pc then 0 else config.icache_miss_penalty
+         in
+         let operand_ready =
+           List.fold_left (fun acc r -> max acc m.ready.(R.to_int r)) 0
+             (I.uses insn)
+         in
+         let pipe = Isa.Latency.pipe_of insn in
+         let pairable =
+           config.dual_issue && fetch_penalty = 0
+           && !pc = !last_pc + 4
+           && !last_pc land 7 = 0
+           && (not !last_was_ctl)
+           && (match !last_pipe with Some p -> p <> pipe | None -> false)
+           && operand_ready <= !last_issue
+         in
+         let issue =
+           if pairable then !last_issue
+           else max (!last_issue + 1) operand_ready + fetch_penalty
+         in
+         (* --- execute --- *)
+         let next_pc = ref (!pc + 4) in
+         let taken = ref false in
+         let result_latency = ref (Isa.Latency.latency insn) in
+         (match insn with
+         | I.Lda { ra; rb; disp } ->
+             rset m (R.to_int ra)
+               (Int64.add (rget m (R.to_int rb)) (Int64.of_int disp))
+         | I.Ldah { ra; rb; disp } ->
+             rset m (R.to_int ra)
+               (Int64.add (rget m (R.to_int rb)) (Int64.of_int (disp * 65536)))
+         | I.Ldq { ra; rb; disp } ->
+             let addr = Int64.to_int (rget m (R.to_int rb)) + disp in
+             m.loads <- m.loads + 1;
+             let hit = Cache.access m.dcache addr in
+             if not hit then
+               result_latency := !result_latency + config.dcache_miss_penalty;
+             rset m (R.to_int ra) (read64 m addr)
+         | I.Stq { ra; rb; disp } ->
+             let addr = Int64.to_int (rget m (R.to_int rb)) + disp in
+             m.stores <- m.stores + 1;
+             ignore (Cache.access m.dcache addr);
+             write64 m addr (rget m (R.to_int ra))
+         | I.Br { ra; disp } | I.Bsr { ra; disp } ->
+             rset m (R.to_int ra) (Int64.of_int (!pc + 4));
+             next_pc := !pc + 4 + (4 * disp);
+             taken := true
+         | I.Bcond { cond; ra; disp } ->
+             if cond_true cond (rget m (R.to_int ra)) then begin
+               next_pc := !pc + 4 + (4 * disp);
+               taken := true
+             end
+         | I.Jump { ra; rb; _ } ->
+             let target = Int64.to_int (rget m (R.to_int rb)) land lnot 3 in
+             rset m (R.to_int ra) (Int64.of_int (!pc + 4));
+             next_pc := target;
+             taken := true
+         | I.Op { op; ra; rb; rc } -> rset m (R.to_int rc) (eval_op m op ra rb)
+         | I.Call_pal 0x83 -> finished := syscall m
+         | I.Call_pal _ -> raise (Fault (Bad_syscall (-1L))));
+         (* --- writeback timing --- *)
+         List.iter
+           (fun r -> m.ready.(R.to_int r) <- issue + !result_latency)
+           (I.defs insn);
+         last_pc := !pc;
+         last_pipe := Some pipe;
+         let is_ctl =
+           I.is_branch insn || (match insn with I.Call_pal _ -> true | _ -> false)
+         in
+         last_was_ctl := is_ctl && !taken
+           || (match insn with I.Call_pal _ -> true | _ -> false);
+         last_issue :=
+           if !taken then issue + config.branch_penalty else issue;
+         pc := !next_pc
+       done;
+       Ok
+         { exit_code = Option.get !finished;
+           output = Buffer.contents m.out;
+           stats =
+             { insns = m.ninsns;
+               cycles = !last_issue + 1;
+               loads = m.loads;
+               stores = m.stores;
+               icache_misses = Cache.misses m.icache;
+               dcache_misses = Cache.misses m.dcache;
+               nops_executed = m.nops } }
+     with Fault e -> Error e)
+  end

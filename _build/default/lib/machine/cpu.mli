@@ -1,0 +1,62 @@
+(** The executing simulator: a first-order dual-issue in-order model of the
+    21064-class implementation the paper measured on (DECstation 3000/400).
+
+    Timing model:
+    - up to two instructions issue per cycle when they sit in the same
+      aligned quadword, go to different pipes and have no dependence
+      (which is why the optimizer's quadword alignment of branch targets
+      matters);
+    - loads have a 3-cycle latency on a D-cache hit plus a miss penalty;
+    - taken branches cost a fetch bubble;
+    - 8KB direct-mapped split I/D caches.
+
+    System calls go through [call_pal 0x83] with the code in [v0]:
+    0 exit, 1 put integer, 2 put character, 3 put quad-string, 4 sbrk. *)
+
+type config = {
+  icache_bytes : int;
+  dcache_bytes : int;
+  line_bytes : int;
+  icache_miss_penalty : int;
+  dcache_miss_penalty : int;
+  branch_penalty : int;
+  dual_issue : bool;
+  heap_max : int;
+  max_insns : int;
+}
+
+val default_config : config
+
+type stats = {
+  insns : int;              (** instructions executed *)
+  cycles : int;
+  loads : int;
+  stores : int;
+  icache_misses : int;
+  dcache_misses : int;
+  nops_executed : int;
+}
+
+type outcome = {
+  exit_code : int64;
+  output : string;
+  stats : stats;
+}
+
+type error =
+  | Unaligned_access of int
+  | Out_of_range_access of int
+  | Undecodable of int
+  | Bad_syscall of int64
+  | Heap_exhausted
+  | Insn_limit_reached
+
+val pp_error : Format.formatter -> error -> unit
+
+val run :
+  ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) -> Linker.Image.t ->
+  (outcome, error) result
+(** Boot the image ([pc] and [pv] at the entry point, [sp] near the stack
+    top) and run until the exit system call. [trace] is invoked before each
+    instruction executes — the hook behind execution profiling and
+    debugging tools. *)

@@ -1,0 +1,1 @@
+lib/minic/check.ml: Ast Format Hashtbl List Option String

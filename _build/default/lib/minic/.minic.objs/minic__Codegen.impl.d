@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Hashtbl Int64 Ir Isa List Masm Objfile Regalloc

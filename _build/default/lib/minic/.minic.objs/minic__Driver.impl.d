@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Array Ast Char Check Codegen Format Hashtbl Inline Int64 Ir Irgen List Masm Opt Parser Regalloc String

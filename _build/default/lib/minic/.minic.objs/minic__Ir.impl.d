@@ -1,0 +1,1 @@
+lib/minic/ir.ml: Array Format Hashtbl Isa List Option Result

@@ -1,0 +1,1 @@
+lib/minic/irgen.ml: Array Ast Check Format Hashtbl Int64 Ir Isa List Option Printf String

@@ -1,0 +1,1 @@
+lib/minic/irgen.mli: Ast Check Ir

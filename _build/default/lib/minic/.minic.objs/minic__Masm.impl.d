@@ -1,0 +1,1 @@
+lib/minic/masm.ml: Array Buffer Format Hashtbl Isa List Objfile Option

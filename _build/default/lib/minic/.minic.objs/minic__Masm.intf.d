@@ -1,0 +1,1 @@
+lib/minic/masm.mli: Isa Objfile

@@ -1,0 +1,1 @@
+lib/minic/opt.ml: Hashtbl Int64 Ir List String

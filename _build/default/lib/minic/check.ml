@@ -1,0 +1,300 @@
+type gkind = Gscalar | Garray of int
+
+type global = {
+  gname : string;
+  gstatic : bool;
+  gkind : gkind;
+  ginit : Ast.global_init option;
+  gextern : bool;
+}
+
+type func_sig = {
+  fname : string;
+  fstatic : bool;
+  farity : int;
+  fextern : bool;
+}
+
+type env = {
+  consts : (string * int64) list;
+  globals : global list;
+  funcs : func_sig list;
+}
+
+let find_global env n = List.find_opt (fun g -> String.equal g.gname n) env.globals
+let find_func env n = List.find_opt (fun f -> String.equal f.fname n) env.funcs
+let find_const env n =
+  Option.map snd (List.find_opt (fun (c, _) -> String.equal c n) env.consts)
+
+type error = { msg : string; pos : Ast.pos }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, col %d: %s" e.pos.Ast.line e.pos.Ast.col e.msg
+
+type ctx = {
+  env : env;
+  mutable errors : error list;
+  mutable scopes : (string, gkind) Hashtbl.t list;  (* local scopes, innermost first *)
+}
+
+let err ctx pos fmt =
+  Format.kasprintf (fun msg -> ctx.errors <- { msg; pos } :: ctx.errors) fmt
+
+let find_local ctx n =
+  List.find_map (fun tbl -> Hashtbl.find_opt tbl n) ctx.scopes
+
+let declare_local ctx pos n kind =
+  match ctx.scopes with
+  | [] -> assert false
+  | tbl :: _ ->
+      if Hashtbl.mem tbl n then err ctx pos "redeclaration of '%s'" n
+      else Hashtbl.replace tbl n kind
+
+let in_scope ctx f =
+  ctx.scopes <- Hashtbl.create 8 :: ctx.scopes;
+  f ();
+  ctx.scopes <- List.tl ctx.scopes
+
+(* What an identifier denotes at an expression position. *)
+type denote =
+  | Dlocal of gkind
+  | Dglobal of gkind
+  | Dconst
+  | Dfunc of func_sig
+  | Dunknown
+
+let denote ctx n =
+  match find_local ctx n with
+  | Some k -> Dlocal k
+  | None -> (
+      match find_const ctx.env n with
+      | Some _ -> Dconst
+      | None -> (
+          match find_global ctx.env n with
+          | Some g -> Dglobal g.gkind
+          | None -> (
+              match find_func ctx.env n with
+              | Some f -> Dfunc f
+              | None -> Dunknown)))
+
+let rec check_expr ctx (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int _ | Ast.Str _ -> ()
+  | Ast.Ident n -> (
+      match denote ctx n with
+      | Dunknown -> err ctx e.pos "undefined name '%s'" n
+      | Dfunc _ ->
+          err ctx e.pos "'%s' is a function; use &%s to take its address" n n
+      | Dlocal _ | Dglobal _ | Dconst -> ())
+  | Ast.Index (a, i) ->
+      check_expr ctx a;
+      check_expr ctx i
+  | Ast.Addr_of n -> (
+      match denote ctx n with
+      | Dglobal _ | Dfunc _ -> ()
+      | Dlocal _ -> err ctx e.pos "cannot take the address of local '%s'" n
+      | Dconst -> err ctx e.pos "cannot take the address of constant '%s'" n
+      | Dunknown -> err ctx e.pos "undefined name '%s'" n)
+  | Ast.Unary (_, a) -> check_expr ctx a
+  | Ast.Binary (_, a, b) ->
+      check_expr ctx a;
+      check_expr ctx b
+  | Ast.Call (f, args) ->
+      (match denote ctx f with
+      | Dfunc fs ->
+          if fs.farity <> List.length args then
+            err ctx e.pos "'%s' expects %d argument(s), got %d" f fs.farity
+              (List.length args)
+      | Dlocal Gscalar | Dglobal Gscalar -> () (* indirect call *)
+      | Dlocal (Garray _) | Dglobal (Garray _) ->
+          err ctx e.pos "cannot call array '%s'" f
+      | Dconst -> err ctx e.pos "cannot call constant '%s'" f
+      | Dunknown -> err ctx e.pos "undefined function '%s'" f);
+      if List.length args > 6 then
+        err ctx e.pos "more than 6 arguments are not supported";
+      List.iter (check_expr ctx) args
+
+let check_lvalue ctx pos (lv : Ast.lvalue) =
+  match lv with
+  | Ast.Lident n -> (
+      match denote ctx n with
+      | Dlocal Gscalar | Dglobal Gscalar -> ()
+      | Dlocal (Garray _) | Dglobal (Garray _) ->
+          err ctx pos "cannot assign to array '%s'" n
+      | Dconst -> err ctx pos "cannot assign to constant '%s'" n
+      | Dfunc _ -> err ctx pos "cannot assign to function '%s'" n
+      | Dunknown -> err ctx pos "undefined name '%s'" n)
+  | Ast.Lindex (a, i) ->
+      check_expr ctx a;
+      check_expr ctx i
+
+let rec check_stmt ctx (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (n, init) ->
+      Option.iter (check_expr ctx) init;
+      declare_local ctx s.spos n Gscalar
+  | Ast.Decl_array (n, sz) -> declare_local ctx s.spos n (Garray sz)
+  | Ast.Assign (lv, e) ->
+      check_lvalue ctx s.spos lv;
+      check_expr ctx e
+  | Ast.If (c, t, f) ->
+      check_expr ctx c;
+      in_scope ctx (fun () -> List.iter (check_stmt ctx) t);
+      in_scope ctx (fun () -> List.iter (check_stmt ctx) f)
+  | Ast.While (c, body) ->
+      check_expr ctx c;
+      in_scope ctx (fun () -> List.iter (check_stmt ctx) body)
+  | Ast.For (init, cond, step, body) ->
+      in_scope ctx (fun () ->
+          Option.iter (check_stmt ctx) init;
+          Option.iter (check_expr ctx) cond;
+          Option.iter (check_stmt ctx) step;
+          in_scope ctx (fun () -> List.iter (check_stmt ctx) body))
+  | Ast.Return e -> Option.iter (check_expr ctx) e
+  | Ast.Expr e -> check_expr ctx e
+
+let build_env (prog : Ast.program) (errors : error list ref) : env =
+  let consts = ref [] and globals = ref [] and funcs = ref [] in
+  let err pos fmt =
+    Format.kasprintf (fun msg -> errors := { msg; pos } :: !errors) fmt
+  in
+  let taken = Hashtbl.create 16 in
+  let claim pos n =
+    if Hashtbl.mem taken n then (err pos "redefinition of '%s'" n; false)
+    else (Hashtbl.replace taken n (); true)
+  in
+  List.iter
+    (fun (top : Ast.top) ->
+      match top with
+      | Ast.Extern { name; arity; pos } -> (
+          (* repeated extern declarations are harmless if they agree *)
+          match
+            List.find_opt (fun f -> String.equal f.fname name) !funcs
+          with
+          | Some { farity; _ } when farity = arity ->
+              (* redeclaration, possibly after the definition (merged
+                 compilation concatenates modules): harmless *)
+              ()
+          | Some _ ->
+              err pos "extern declaration of '%s' conflicts with its definition"
+                name
+          | None ->
+              if claim pos name then
+                funcs :=
+                  { fname = name;
+                    fstatic = false;
+                    farity = arity;
+                    fextern = true }
+                  :: !funcs)
+      | Ast.Extern_var { name; array; pos } -> (
+          let kind = if array then Garray 0 else Gscalar in
+          match
+            List.find_opt (fun g -> String.equal g.gname name) !globals
+          with
+          | Some g ->
+              let compatible =
+                match (g.gkind, kind) with
+                | Gscalar, Gscalar | Garray _, Garray _ -> true
+                | _ -> false
+              in
+              if not compatible then
+                err pos "extern var declaration of '%s' conflicts" name
+          | None ->
+              if claim pos name then
+                globals :=
+                  { gname = name;
+                    gstatic = false;
+                    gkind = kind;
+                    ginit = None;
+                    gextern = true }
+                  :: !globals)
+      | Ast.Const { name; value; pos } ->
+          if claim pos name then consts := (name, value) :: !consts
+      | Ast.Global { name; static; size; init; pos } ->
+          (match init with
+          | Some (Ast.Array_init vs) when List.length vs > size ->
+              err pos "initializer for '%s' has %d elements but size is %d"
+                name (List.length vs) size
+          | Some (Ast.Array_init _) when size = 1 ->
+              err pos "brace initializer on scalar '%s'" name
+          | _ -> ());
+          let kind = if size = 1 then Gscalar else Garray size in
+          (* a definition may complete an earlier extern var declaration *)
+          (match
+             List.find_opt (fun g -> String.equal g.gname name) !globals
+           with
+          | Some { gextern = true; gkind; _ } ->
+              let compatible =
+                match (gkind, kind) with
+                | Gscalar, Gscalar | Garray _, Garray _ -> true
+                | _ -> false
+              in
+              if compatible && not static then
+                globals :=
+                  List.map
+                    (fun g ->
+                      if String.equal g.gname name then
+                        { g with gextern = false; gkind = kind; ginit = init }
+                      else g)
+                    !globals
+              else err pos "definition of '%s' conflicts with extern var" name
+          | Some _ -> err pos "redefinition of '%s'" name
+          | None ->
+              if claim pos name then
+                globals :=
+                  { gname = name;
+                    gstatic = static;
+                    gkind = kind;
+                    ginit = init;
+                    gextern = false }
+                  :: !globals)
+      | Ast.Func { name; static; params; pos; _ } -> (
+          if List.length params > 6 then
+            err pos "'%s': more than 6 parameters are not supported" name;
+          (* a definition may complete an earlier extern declaration of the
+             same arity (e.g. a library module compiled with the standard
+             prelude that declares it) *)
+          match
+            List.find_opt (fun f -> String.equal f.fname name) !funcs
+          with
+          | Some { fextern = true; farity; _ }
+            when farity = List.length params && not static ->
+              funcs :=
+                List.map
+                  (fun f ->
+                    if String.equal f.fname name then { f with fextern = false }
+                    else f)
+                  !funcs
+          | Some { fextern = true; _ } ->
+              err pos "definition of '%s' conflicts with its extern declaration"
+                name
+          | _ ->
+              if claim pos name then
+                funcs :=
+                  { fname = name;
+                    fstatic = static;
+                    farity = List.length params;
+                    fextern = false }
+                  :: !funcs))
+    prog;
+  { consts = List.rev !consts;
+    globals = List.rev !globals;
+    funcs = List.rev !funcs }
+
+let run (prog : Ast.program) =
+  let errors = ref [] in
+  let env = build_env prog errors in
+  let ctx = { env; errors = !errors; scopes = [] } in
+  List.iter
+    (fun (top : Ast.top) ->
+      match top with
+      | Ast.Func { params; body; pos; _ } ->
+          ctx.scopes <- [ Hashtbl.create 8 ];
+          List.iter (fun p -> declare_local ctx pos p Gscalar) params;
+          in_scope ctx (fun () -> List.iter (check_stmt ctx) body);
+          ctx.scopes <- []
+      | _ -> ())
+    prog;
+  match ctx.errors with
+  | [] -> Ok env
+  | errs -> Error (List.rev errs)

@@ -1,0 +1,41 @@
+(** Semantic analysis for minic.
+
+    Resolves every identifier, checks arities and assignability, and
+    produces the symbol environment the IR generator consumes. *)
+
+type gkind =
+  | Gscalar       (** a one-quadword global *)
+  | Garray of int (** element count *)
+
+type global = {
+  gname : string;
+  gstatic : bool;
+  gkind : gkind;
+  ginit : Ast.global_init option;
+  gextern : bool;  (** declared [extern var]: defined in another module *)
+}
+
+type func_sig = {
+  fname : string;
+  fstatic : bool;
+  farity : int;
+  fextern : bool;  (** declared [extern]: defined in another module *)
+}
+
+type env = {
+  consts : (string * int64) list;
+  globals : global list;
+  funcs : func_sig list;
+}
+
+val find_global : env -> string -> global option
+val find_func : env -> string -> func_sig option
+val find_const : env -> string -> int64 option
+
+type error = { msg : string; pos : Ast.pos }
+
+val pp_error : Format.formatter -> error -> unit
+
+val run : Ast.program -> (env, error list) result
+(** Check a whole module. On success the environment lists every constant,
+    global and function (including externs) of the module. *)

@@ -1,0 +1,41 @@
+(** Code generation: allocated {!Ir} functions to {!Masm} items.
+
+    The generated code follows the conservative 64-bit conventions of the
+    paper's §2:
+
+    - every global-object reference starts with an {e address load} from
+      the GAT ([ldq rX, lit(gp)] with a LITERAL relocation), followed by
+      loads/stores through the loaded pointer (linked by LITUSE);
+    - every procedure that touches the GAT establishes its own GP from [pv]
+      on entry and re-establishes it from [ra] after every call;
+    - calls load the destination address from the GAT into [pv] and use
+      [jsr ra, (pv)];
+    - 64-bit constants that no [ldah]/[lda] pair can build come from the
+      literal pool.
+
+    Exception to the conservatism (also per the paper): a call to a known
+    non-exported procedure of the same unit may be compiled as a [bsr] that
+    skips the callee's (pinned) GP setup, with no PV load and no GP reset —
+    the compiler can prove both sides use the same GAT. The [compile-all]
+    driver mode treats every user procedure except [main] this way. *)
+
+type local_callee = {
+  lc_postgp : Masm.label;
+      (** branch target that skips the callee's GP setup *)
+}
+
+type ctx = {
+  masm : Masm.t;
+  o2 : bool;                (** schedule straight-line runs *)
+  local_callees : (string, local_callee) Hashtbl.t;
+      (** procedures of this unit whose calls may be optimized *)
+  optimistic : string -> bool;
+      (** globals compiled with a direct GP-relative reference (the
+          paper's §6 "optimistic compilation" scheme, like the MIPS
+          [-G] option); the final link fails if the bet is lost *)
+}
+
+val gen_func : ctx -> Ir.func -> Regalloc.allocation -> unit
+(** Generate one procedure into [ctx.masm]. If the function's name is
+    registered in [local_callees], its GP setup is pinned at entry and the
+    registered [lc_postgp] label is placed after it. *)

@@ -1,0 +1,160 @@
+let max_inline_instrs = 24
+
+let func_size (fn : Ir.func) =
+  List.fold_left (fun acc (b : Ir.block) -> acc + List.length b.body + 1) 0
+    fn.Ir.blocks
+
+let calls_self (fn : Ir.func) =
+  List.exists
+    (fun (b : Ir.block) ->
+      List.exists
+        (fun i ->
+          match i with
+          | Ir.Call { callee = Ir.Cdirect f; _ } -> String.equal f fn.Ir.fname
+          | _ -> false)
+        b.body)
+    fn.Ir.blocks
+
+(* Procedures whose address is taken anywhere in the unit. *)
+let address_taken (funcs : Ir.func list) =
+  let taken = Hashtbl.create 8 in
+  let names = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace names f.Ir.fname ()) funcs;
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.La { sym; _ } when Hashtbl.mem names sym ->
+                  Hashtbl.replace taken sym ()
+              | _ -> ())
+            b.body)
+        f.Ir.blocks)
+    funcs;
+  taken
+
+let copy v = Ir.Bini { dst = fst v; op = Ir.Add; a = snd v; imm = 0 }
+
+(* A copy of [callee]'s body grafted into [caller], jumping to [cont_label]
+   in place of returning. Returns (setup instrs, entry label, new blocks). *)
+let splice (caller : Ir.func) (callee : Ir.func) ~args ~dst ~cont_label
+    ~fresh_label =
+  let vmap = Hashtbl.create 32 in
+  let fresh_vreg v =
+    match Hashtbl.find_opt vmap v with
+    | Some v' -> v'
+    | None ->
+        let v' = caller.Ir.nvregs in
+        caller.Ir.nvregs <- v' + 1;
+        Hashtbl.replace vmap v v';
+        v'
+  in
+  let lmap = Hashtbl.create 8 in
+  let map_label l =
+    match Hashtbl.find_opt lmap l with
+    | Some l' -> l'
+    | None ->
+        let l' = fresh_label () in
+        Hashtbl.replace lmap l l';
+        l'
+  in
+  let slot_base = Array.length caller.Ir.slots in
+  caller.Ir.slots <-
+    Array.append caller.Ir.slots callee.Ir.slots;
+  let param_copies =
+    List.map2 (fun p a -> copy (fresh_vreg p, a)) callee.Ir.params args
+  in
+  let copy_block (b : Ir.block) =
+    let body =
+      List.map
+        (fun i ->
+          match Ir.map_instr_regs fresh_vreg i with
+          | Ir.Laslot { dst; slot } -> Ir.Laslot { dst; slot = slot + slot_base }
+          | other -> other)
+        b.Ir.body
+    in
+    let extra, term =
+      match Ir.map_term_regs fresh_vreg b.Ir.term with
+      | Ir.Ret v ->
+          let out =
+            match (dst, v) with
+            | Some d, Some v -> [ copy (d, v) ]
+            | Some d, None -> [ Ir.Li { dst = d; value = 0L } ]
+            | None, _ -> []
+          in
+          (out, Ir.Jmp cont_label)
+      | Ir.Jmp l -> ([], Ir.Jmp (map_label l))
+      | Ir.Cbr { cond; ifso; ifnot } ->
+          ([], Ir.Cbr { cond; ifso = map_label ifso; ifnot = map_label ifnot })
+    in
+    { Ir.label = map_label b.Ir.label; body = body @ extra; term }
+  in
+  let blocks = List.map copy_block callee.Ir.blocks in
+  let entry =
+    match callee.Ir.blocks with
+    | b :: _ -> map_label b.Ir.label
+    | [] -> invalid_arg "Inline.splice: empty callee"
+  in
+  (param_copies, entry, blocks)
+
+let inline_pass (funcs : Ir.func list) =
+  let taken = address_taken funcs in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace by_name f.Ir.fname f) funcs;
+  let eligible (f : Ir.func) =
+    (not (String.equal f.Ir.fname "main"))
+    && (not (Hashtbl.mem taken f.Ir.fname))
+    && (not (calls_self f))
+    && func_size f <= max_inline_instrs
+  in
+  List.iter
+    (fun (caller : Ir.func) ->
+      let next_label = ref 0 in
+      List.iter
+        (fun (b : Ir.block) -> next_label := max !next_label (b.label + 1))
+        caller.Ir.blocks;
+      let fresh_label () =
+        let l = !next_label in
+        incr next_label;
+        l
+      in
+      let new_blocks = ref [] in
+      let add_block b = new_blocks := b :: !new_blocks in
+      let process (b : Ir.block) =
+        let rec go cur_label acc_body instrs =
+          match instrs with
+          | [] ->
+              add_block
+                { Ir.label = cur_label;
+                  body = List.rev acc_body;
+                  term = b.Ir.term }
+          | (Ir.Call { dst; callee = Ir.Cdirect f; args } as call) :: rest -> (
+              match Hashtbl.find_opt by_name f with
+              | Some callee
+                when eligible callee
+                     && not (String.equal callee.Ir.fname caller.Ir.fname) ->
+                  let cont_label = fresh_label () in
+                  let param_copies, entry, blocks =
+                    splice caller callee ~args ~dst ~cont_label ~fresh_label
+                  in
+                  add_block
+                    { Ir.label = cur_label;
+                      body = List.rev_append acc_body param_copies;
+                      term = Ir.Jmp entry };
+                  List.iter add_block blocks;
+                  go cont_label [] rest
+              | _ -> go cur_label (call :: acc_body) rest)
+          | i :: rest -> go cur_label (i :: acc_body) rest
+        in
+        go b.Ir.label [] b.Ir.body
+      in
+      List.iter process caller.Ir.blocks;
+      caller.Ir.blocks <- List.rev !new_blocks)
+    funcs
+
+let run funcs =
+  (* two passes: short call chains collapse, recursion cannot loop *)
+  inline_pass funcs;
+  inline_pass funcs

@@ -1,0 +1,390 @@
+type modir = {
+  funcs : Ir.func list;
+  strings : (string * string) list;
+  env : Check.env;
+}
+
+type ctx = {
+  env : Check.env;
+  mutable nvregs : int;
+  mutable nlabels : int;
+  mutable blocks : Ir.block list;          (* finished blocks, reversed *)
+  mutable cur_label : Ir.label;
+  mutable cur_body : Ir.instr list;        (* reversed *)
+  mutable open_block : bool;
+  mutable slots : int list;                (* reversed slot sizes *)
+  mutable scopes : (string, binding) Hashtbl.t list;
+  strings : (string * string) list ref;
+  nstrings : int ref;
+  module_name : string;
+}
+
+and binding = Bvreg of Ir.vreg | Bslot of int
+
+let bug fmt = Format.kasprintf invalid_arg fmt
+
+let fresh ctx =
+  let v = ctx.nvregs in
+  ctx.nvregs <- v + 1;
+  v
+
+let fresh_label ctx =
+  let l = ctx.nlabels in
+  ctx.nlabels <- l + 1;
+  l
+
+let emit ctx i =
+  assert ctx.open_block;
+  ctx.cur_body <- i :: ctx.cur_body
+
+let terminate ctx term =
+  assert ctx.open_block;
+  ctx.blocks <-
+    { Ir.label = ctx.cur_label; body = List.rev ctx.cur_body; term }
+    :: ctx.blocks;
+  ctx.open_block <- false;
+  ctx.cur_body <- []
+
+let start_block ctx label =
+  if ctx.open_block then terminate ctx (Ir.Jmp label);
+  ctx.cur_label <- label;
+  ctx.cur_body <- [];
+  ctx.open_block <- true
+
+let find_binding ctx n =
+  List.find_map (fun tbl -> Hashtbl.find_opt tbl n) ctx.scopes
+
+let declare ctx n b =
+  match ctx.scopes with
+  | [] -> assert false
+  | tbl :: _ -> Hashtbl.replace tbl n b
+
+let in_scope ctx f =
+  ctx.scopes <- Hashtbl.create 8 :: ctx.scopes;
+  let r = f () in
+  ctx.scopes <- List.tl ctx.scopes;
+  r
+
+let li ctx value =
+  let dst = fresh ctx in
+  emit ctx (Ir.Li { dst; value });
+  dst
+
+let copy_into ctx ~dst src = emit ctx (Ir.Bini { dst; op = Ir.Add; a = src; imm = 0 })
+
+let binop_of_ast : Ast.binop -> Ir.binop = function
+  | Ast.Add -> Ir.Add | Ast.Sub -> Ir.Sub | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Div | Ast.Rem -> Ir.Rem
+  | Ast.Shl -> Ir.Shl | Ast.Shr -> Ir.Shr
+  | Ast.Band -> Ir.And | Ast.Bor -> Ir.Or | Ast.Bxor -> Ir.Xor
+  | Ast.Eq -> Ir.Cmp Ir.Ceq | Ast.Ne -> Ir.Cmp Ir.Cne
+  | Ast.Lt -> Ir.Cmp Ir.Clt | Ast.Le -> Ir.Cmp Ir.Cle
+  | Ast.Gt -> Ir.Cmp Ir.Cgt | Ast.Ge -> Ir.Cmp Ir.Cge
+  | Ast.Land | Ast.Lor -> assert false (* handled by control flow *)
+
+let intern_string ctx s =
+  match
+    List.find_opt (fun (_, c) -> String.equal c s) !(ctx.strings)
+  with
+  | Some (sym, _) -> sym
+  | None ->
+      let sym = Printf.sprintf "$str%d$%s" !(ctx.nstrings) ctx.module_name in
+      incr ctx.nstrings;
+      ctx.strings := (sym, s) :: !(ctx.strings);
+      sym
+
+(* Address of the named object, for array decay / address-of. *)
+let gen_addr_of ctx n =
+  match find_binding ctx n with
+  | Some (Bslot s) ->
+      let dst = fresh ctx in
+      emit ctx (Ir.Laslot { dst; slot = s });
+      dst
+  | Some (Bvreg _) -> bug "gen_addr_of: local scalar %s" n
+  | None ->
+      let dst = fresh ctx in
+      emit ctx (Ir.La { dst; sym = n; off = 0 });
+      dst
+
+let rec gen_expr ctx (e : Ast.expr) : Ir.vreg =
+  match e.desc with
+  | Ast.Int n -> li ctx n
+  | Ast.Str s -> gen_addr_of_global ctx (intern_string ctx s)
+  | Ast.Ident n -> (
+      match find_binding ctx n with
+      | Some (Bvreg v) -> v
+      | Some (Bslot _) -> gen_addr_of ctx n (* local array decays *)
+      | None -> (
+          match Check.find_const ctx.env n with
+          | Some c -> li ctx c
+          | None -> (
+              match Check.find_global ctx.env n with
+              | Some { gkind = Check.Garray _; _ } ->
+                  gen_addr_of_global ctx n (* global array decays *)
+              | Some { gkind = Check.Gscalar; _ } ->
+                  let addr = gen_addr_of_global ctx n in
+                  let dst = fresh ctx in
+                  emit ctx (Ir.Ld { dst; base = addr; off = 0 });
+                  dst
+              | None -> bug "unbound identifier %s" n)))
+  | Ast.Index (a, i) ->
+      let base, off = gen_index_addr ctx a i in
+      let dst = fresh ctx in
+      emit ctx (Ir.Ld { dst; base; off });
+      dst
+  | Ast.Addr_of n -> (
+      match find_binding ctx n with
+      | Some (Bslot _) -> gen_addr_of ctx n
+      | Some (Bvreg _) -> bug "address of local scalar %s" n
+      | None -> gen_addr_of_global ctx n)
+  | Ast.Unary (Ast.Neg, a) ->
+      let va = gen_expr ctx a in
+      let z = li ctx 0L in
+      let dst = fresh ctx in
+      emit ctx (Ir.Bin { dst; op = Ir.Sub; a = z; b = va });
+      dst
+  | Ast.Unary (Ast.Lnot, a) ->
+      let va = gen_expr ctx a in
+      let dst = fresh ctx in
+      emit ctx (Ir.Bini { dst; op = Ir.Cmp Ir.Ceq; a = va; imm = 0 });
+      dst
+  | Ast.Unary (Ast.Bnot, a) ->
+      let va = gen_expr ctx a in
+      let m1 = li ctx (-1L) in
+      let dst = fresh ctx in
+      emit ctx (Ir.Bin { dst; op = Ir.Xor; a = va; b = m1 });
+      dst
+  | Ast.Binary (Ast.Land, a, b) ->
+      let dst = fresh ctx in
+      let lb = fresh_label ctx and lend = fresh_label ctx in
+      let va = gen_expr ctx a in
+      emit ctx (Ir.Li { dst; value = 0L });
+      terminate ctx (Ir.Cbr { cond = va; ifso = lb; ifnot = lend });
+      start_block ctx lb;
+      let vb = gen_expr ctx b in
+      emit ctx (Ir.Bini { dst; op = Ir.Cmp Ir.Cne; a = vb; imm = 0 });
+      terminate ctx (Ir.Jmp lend);
+      start_block ctx lend;
+      dst
+  | Ast.Binary (Ast.Lor, a, b) ->
+      let dst = fresh ctx in
+      let lb = fresh_label ctx and lend = fresh_label ctx in
+      let va = gen_expr ctx a in
+      emit ctx (Ir.Bini { dst; op = Ir.Cmp Ir.Cne; a = va; imm = 0 });
+      terminate ctx (Ir.Cbr { cond = va; ifso = lend; ifnot = lb });
+      start_block ctx lb;
+      let vb = gen_expr ctx b in
+      emit ctx (Ir.Bini { dst; op = Ir.Cmp Ir.Cne; a = vb; imm = 0 });
+      terminate ctx (Ir.Jmp lend);
+      start_block ctx lend;
+      dst
+  | Ast.Binary (op, a, b) -> (
+      let irop = binop_of_ast op in
+      let va = gen_expr ctx a in
+      match b.desc with
+      | Ast.Int n when n >= 0L && n <= 255L && commutes_with_imm irop ->
+          let dst = fresh ctx in
+          emit ctx (Ir.Bini { dst; op = irop; a = va; imm = Int64.to_int n });
+          dst
+      | _ ->
+          let vb = gen_expr ctx b in
+          let dst = fresh ctx in
+          emit ctx (Ir.Bin { dst; op = irop; a = va; b = vb });
+          dst)
+  | Ast.Call (f, args) -> Option.get (gen_call ctx ~want_result:true f args)
+
+and commutes_with_imm = function
+  | Ir.Add | Ir.Sub | Ir.Mul | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr
+  | Ir.Cmp _ -> true
+  | Ir.Div | Ir.Rem -> false (* lowered to calls; keep operands in regs *)
+
+and gen_addr_of_global ctx n =
+  let dst = fresh ctx in
+  emit ctx (Ir.La { dst; sym = n; off = 0 });
+  dst
+
+(* Compute (base vreg, byte offset) addressing e1[e2]. *)
+and gen_index_addr ctx a i =
+  let base = gen_expr ctx a in
+  match i.Ast.desc with
+  | Ast.Int n
+    when Isa.Insn.fits_disp16 (Int64.to_int (Int64.mul 8L n))
+         && Int64.abs n < 4096L ->
+      (base, 8 * Int64.to_int n)
+  | _ ->
+      let vi = gen_expr ctx i in
+      let scaled = fresh ctx in
+      emit ctx (Ir.Bini { dst = scaled; op = Ir.Shl; a = vi; imm = 3 });
+      let addr = fresh ctx in
+      emit ctx (Ir.Bin { dst = addr; op = Ir.Add; a = base; b = scaled });
+      (addr, 0)
+
+and gen_call ctx ~want_result f args =
+  let vargs = List.map (gen_expr ctx) args in
+  let callee =
+    match find_binding ctx f with
+    | Some (Bvreg v) -> Ir.Cindirect v
+    | Some (Bslot _) -> bug "call through array %s" f
+    | None -> (
+        match Check.find_func ctx.env f with
+        | Some _ -> Ir.Cdirect f
+        | None -> (
+            match Check.find_global ctx.env f with
+            | Some { gkind = Check.Gscalar; _ } ->
+                let addr = gen_addr_of_global ctx f in
+                let v = fresh ctx in
+                emit ctx (Ir.Ld { dst = v; base = addr; off = 0 });
+                Ir.Cindirect v
+            | _ -> bug "unbound callee %s" f))
+  in
+  let dst = if want_result then Some (fresh ctx) else None in
+  emit ctx (Ir.Call { dst; callee; args = vargs });
+  dst
+
+let gen_store_ident ctx n value =
+  match find_binding ctx n with
+  | Some (Bvreg v) -> copy_into ctx ~dst:v value
+  | Some (Bslot _) -> bug "assignment to local array %s" n
+  | None ->
+      let addr = gen_addr_of_global ctx n in
+      emit ctx (Ir.St { src = value; base = addr; off = 0 })
+
+let rec gen_stmt ctx (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (n, init) ->
+      let v = fresh ctx in
+      (match init with
+      | Some e ->
+          let ve = gen_expr ctx e in
+          copy_into ctx ~dst:v ve
+      | None -> emit ctx (Ir.Li { dst = v; value = 0L }));
+      declare ctx n (Bvreg v)
+  | Ast.Decl_array (n, count) ->
+      let slot = List.length ctx.slots in
+      ctx.slots <- (8 * count) :: ctx.slots;
+      declare ctx n (Bslot slot)
+  | Ast.Assign (Ast.Lident n, e) ->
+      let v = gen_expr ctx e in
+      gen_store_ident ctx n v
+  | Ast.Assign (Ast.Lindex (a, i), e) ->
+      let base, off = gen_index_addr ctx a i in
+      let v = gen_expr ctx e in
+      emit ctx (Ir.St { src = v; base; off })
+  | Ast.If (c, t, f) ->
+      let lt = fresh_label ctx and lf = fresh_label ctx in
+      let lend = if f = [] then lf else fresh_label ctx in
+      let vc = gen_expr ctx c in
+      terminate ctx (Ir.Cbr { cond = vc; ifso = lt; ifnot = lf });
+      start_block ctx lt;
+      in_scope ctx (fun () -> List.iter (gen_stmt ctx) t);
+      if ctx.open_block then terminate ctx (Ir.Jmp lend);
+      if f <> [] then begin
+        start_block ctx lf;
+        in_scope ctx (fun () -> List.iter (gen_stmt ctx) f);
+        if ctx.open_block then terminate ctx (Ir.Jmp lend)
+      end;
+      start_block ctx lend
+  | Ast.While (c, body) ->
+      let lhead = fresh_label ctx
+      and lbody = fresh_label ctx
+      and lend = fresh_label ctx in
+      terminate ctx (Ir.Jmp lhead);
+      start_block ctx lhead;
+      let vc = gen_expr ctx c in
+      terminate ctx (Ir.Cbr { cond = vc; ifso = lbody; ifnot = lend });
+      start_block ctx lbody;
+      in_scope ctx (fun () -> List.iter (gen_stmt ctx) body);
+      if ctx.open_block then terminate ctx (Ir.Jmp lhead);
+      start_block ctx lend
+  | Ast.For (init, cond, step, body) ->
+      in_scope ctx (fun () ->
+          Option.iter (gen_stmt ctx) init;
+          let lhead = fresh_label ctx
+          and lbody = fresh_label ctx
+          and lend = fresh_label ctx in
+          terminate ctx (Ir.Jmp lhead);
+          start_block ctx lhead;
+          (match cond with
+          | Some c ->
+              let vc = gen_expr ctx c in
+              terminate ctx (Ir.Cbr { cond = vc; ifso = lbody; ifnot = lend })
+          | None -> terminate ctx (Ir.Jmp lbody));
+          start_block ctx lbody;
+          in_scope ctx (fun () -> List.iter (gen_stmt ctx) body);
+          Option.iter (gen_stmt ctx) step;
+          if ctx.open_block then terminate ctx (Ir.Jmp lhead);
+          start_block ctx lend)
+  | Ast.Return e ->
+      let v = Option.map (gen_expr ctx) e in
+      terminate ctx (Ir.Ret v);
+      (* code after a return is unreachable but must go somewhere *)
+      start_block ctx (fresh_label ctx)
+  | Ast.Expr { desc = Ast.Call (f, args); _ } ->
+      (* a statement call needs no result vreg *)
+      ignore (gen_call ctx ~want_result:false f args)
+  | Ast.Expr e -> ignore (gen_expr ctx e)
+
+let lower_func ctx0 ~module_name env (name, static, params, body) =
+  let ctx =
+    { ctx0 with
+      env;
+      nvregs = 0;
+      nlabels = 0;
+      blocks = [];
+      cur_label = 0;
+      cur_body = [];
+      open_block = false;
+      slots = [];
+      scopes = [ Hashtbl.create 8 ];
+      module_name }
+  in
+  let entry = fresh_label ctx in
+  start_block ctx entry;
+  let param_vregs =
+    List.map
+      (fun p ->
+        let v = fresh ctx in
+        declare ctx p (Bvreg v);
+        v)
+      params
+  in
+  List.iter (gen_stmt ctx) body;
+  if ctx.open_block then begin
+    let z = li ctx 0L in
+    terminate ctx (Ir.Ret (Some z))
+  end;
+  { Ir.fname = name;
+    fstatic = static;
+    params = param_vregs;
+    blocks = List.rev ctx.blocks;
+    nvregs = ctx.nvregs;
+    slots = Array.of_list (List.rev ctx.slots) }
+
+let lower env (prog : Ast.program) =
+  let strings = ref [] in
+  let base_ctx =
+    { env;
+      nvregs = 0;
+      nlabels = 0;
+      blocks = [];
+      cur_label = 0;
+      cur_body = [];
+      open_block = false;
+      slots = [];
+      scopes = [];
+      strings;
+      nstrings = ref 0;
+      module_name = "m" }
+  in
+  let funcs =
+    List.filter_map
+      (fun (top : Ast.top) ->
+        match top with
+        | Ast.Func { name; static; params; body; _ } ->
+            Some
+              (lower_func base_ctx ~module_name:"m" env
+                 (name, static, params, body))
+        | _ -> None)
+      prog
+  in
+  { funcs; strings = List.rev !strings; env }

@@ -1,0 +1,14 @@
+(** Lowering checked minic ASTs to {!Ir}. *)
+
+type modir = {
+  funcs : Ir.func list;
+  strings : (string * string) list;
+      (** hoisted string literals: (generated symbol, contents); stored as
+          one character per quadword in the module's data section *)
+  env : Check.env;
+}
+
+val lower : Check.env -> Ast.program -> modir
+(** Lower every function of a checked module. The AST must have passed
+    {!Check.run} with this environment; violations raise
+    [Invalid_argument]. *)

@@ -1,0 +1,176 @@
+type token =
+  | INT of int64
+  | IDENT of string
+  | STRING of string
+  | KW_var | KW_func | KW_extern | KW_static | KW_const
+  | KW_if | KW_else | KW_while | KW_for | KW_return
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | AMP | PIPE | CARET | TILDE | BANG
+  | AMPAMP | PIPEPIPE
+  | EQ | EQEQ | NE | LT | LE | GT | GE
+  | EOF
+
+type t = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keyword = function
+  | "var" -> Some KW_var
+  | "func" -> Some KW_func
+  | "extern" -> Some KW_extern
+  | "static" -> Some KW_static
+  | "const" -> Some KW_const
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "for" -> Some KW_for
+  | "return" -> Some KW_return
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let toks = ref [] in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let error i msg = raise (Error (msg, pos i)) in
+  let emit i tok = toks := { tok; pos = pos i } :: !toks in
+  let newline i = incr line; bol := i + 1 in
+  let rec skip_block_comment i start =
+    if i + 1 >= n then error start "unterminated comment"
+    else if src.[i] = '*' && src.[i + 1] = '/' then i + 2
+    else begin
+      if src.[i] = '\n' then newline i;
+      skip_block_comment (i + 1) start
+    end
+  in
+  let lex_escape i =
+    (* [i] points after the backslash; returns (char value, next index). *)
+    if i >= n then error (i - 1) "unterminated escape"
+    else
+      match src.[i] with
+      | 'n' -> (10, i + 1)
+      | 't' -> (9, i + 1)
+      | '0' -> (0, i + 1)
+      | '\\' -> (92, i + 1)
+      | '\'' -> (39, i + 1)
+      | '"' -> (34, i + 1)
+      | c -> error i (Printf.sprintf "bad escape '\\%c'" c)
+  in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' -> newline i; go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+          go (eol (i + 1))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          go (skip_block_comment (i + 2) i)
+      | c when is_ident_start c ->
+          let rec fin j = if j < n && is_ident_char src.[j] then fin (j + 1) else j in
+          let j = fin i in
+          let word = String.sub src i (j - i) in
+          emit i (match keyword word with Some k -> k | None -> IDENT word);
+          go j
+      | '0' when i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X') ->
+          let rec fin j = if j < n && is_hex src.[j] then fin (j + 1) else j in
+          let j = fin (i + 2) in
+          if j = i + 2 then error i "empty hex literal";
+          (match Int64.of_string_opt (String.sub src i (j - i)) with
+          | Some v -> emit i (INT v)
+          | None -> error i "hex literal out of range");
+          go j
+      | c when is_digit c ->
+          let rec fin j = if j < n && is_digit src.[j] then fin (j + 1) else j in
+          let j = fin i in
+          (match Int64.of_string_opt (String.sub src i (j - i)) with
+          | Some v -> emit i (INT v)
+          | None -> error i "integer literal out of range");
+          go j
+      | '\'' ->
+          let value, j =
+            if i + 1 >= n then error i "unterminated char literal"
+            else if src.[i + 1] = '\\' then lex_escape (i + 2)
+            else (Char.code src.[i + 1], i + 2)
+          in
+          if j >= n || src.[j] <> '\'' then error i "unterminated char literal";
+          emit i (INT (Int64.of_int value));
+          go (j + 1)
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then error i "unterminated string literal"
+            else
+              match src.[j] with
+              | '"' -> j + 1
+              | '\\' ->
+                  let v, j' = lex_escape (j + 1) in
+                  Buffer.add_char buf (Char.chr v);
+                  str j'
+              | '\n' -> error i "newline in string literal"
+              | c -> Buffer.add_char buf c; str (j + 1)
+          in
+          let j = str (i + 1) in
+          emit i (STRING (Buffer.contents buf));
+          go j
+      | '(' -> emit i LPAREN; go (i + 1)
+      | ')' -> emit i RPAREN; go (i + 1)
+      | '{' -> emit i LBRACE; go (i + 1)
+      | '}' -> emit i RBRACE; go (i + 1)
+      | '[' -> emit i LBRACKET; go (i + 1)
+      | ']' -> emit i RBRACKET; go (i + 1)
+      | ',' -> emit i COMMA; go (i + 1)
+      | ';' -> emit i SEMI; go (i + 1)
+      | '+' -> emit i PLUS; go (i + 1)
+      | '-' -> emit i MINUS; go (i + 1)
+      | '*' -> emit i STAR; go (i + 1)
+      | '/' -> emit i SLASH; go (i + 1)
+      | '%' -> emit i PERCENT; go (i + 1)
+      | '~' -> emit i TILDE; go (i + 1)
+      | '^' -> emit i CARET; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit i AMPAMP; go (i + 2)
+      | '&' -> emit i AMP; go (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit i PIPEPIPE; go (i + 2)
+      | '|' -> emit i PIPE; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit i EQEQ; go (i + 2)
+      | '=' -> emit i EQ; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit i NE; go (i + 2)
+      | '!' -> emit i BANG; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '<' -> emit i SHL; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit i LE; go (i + 2)
+      | '<' -> emit i LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '>' -> emit i SHR; go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit i GE; go (i + 2)
+      | '>' -> emit i GT; go (i + 1)
+      | c -> error i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !toks
+
+let token_name = function
+  | INT _ -> "integer"
+  | IDENT _ -> "identifier"
+  | STRING _ -> "string"
+  | KW_var -> "'var'" | KW_func -> "'func'" | KW_extern -> "'extern'"
+  | KW_static -> "'static'" | KW_const -> "'const'"
+  | KW_if -> "'if'" | KW_else -> "'else'" | KW_while -> "'while'"
+  | KW_for -> "'for'" | KW_return -> "'return'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | COMMA -> "','" | SEMI -> "';'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | SHL -> "'<<'" | SHR -> "'>>'" | AMP -> "'&'" | PIPE -> "'|'"
+  | CARET -> "'^'" | TILDE -> "'~'" | BANG -> "'!'"
+  | AMPAMP -> "'&&'" | PIPEPIPE -> "'||'"
+  | EQ -> "'='" | EQEQ -> "'=='" | NE -> "'!='"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | EOF -> "end of input"

@@ -1,0 +1,26 @@
+(** Hand-written lexer for minic. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | STRING of string          (* string literal, for quad-per-char data *)
+  | KW_var | KW_func | KW_extern | KW_static | KW_const
+  | KW_if | KW_else | KW_while | KW_for | KW_return
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | AMP | PIPE | CARET | TILDE | BANG
+  | AMPAMP | PIPEPIPE
+  | EQ | EQEQ | NE | LT | LE | GT | GE
+  | EOF
+
+type t = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> t list
+(** Tokenize a whole source buffer; the result always ends with [EOF].
+    Raises {!Error} on an unexpected character or malformed literal.
+    Comments are [//] to end of line and [/* ... */] (non-nesting). *)
+
+val token_name : token -> string

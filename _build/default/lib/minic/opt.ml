@@ -1,0 +1,252 @@
+(* 64-bit two's-complement evaluation matching the machine's semantics. *)
+let eval_binop (op : Ir.binop) (a : int64) (b : int64) : int64 option =
+  let bool64 c = if c then 1L else 0L in
+  match op with
+  | Ir.Add -> Some (Int64.add a b)
+  | Ir.Sub -> Some (Int64.sub a b)
+  | Ir.Mul -> Some (Int64.mul a b)
+  | Ir.Div | Ir.Rem -> None (* runtime routine defines the 0-divisor case *)
+  | Ir.And -> Some (Int64.logand a b)
+  | Ir.Or -> Some (Int64.logor a b)
+  | Ir.Xor -> Some (Int64.logxor a b)
+  | Ir.Shl -> Some (Int64.shift_left a (Int64.to_int (Int64.logand b 63L)))
+  | Ir.Shr ->
+      Some (Int64.shift_right a (Int64.to_int (Int64.logand b 63L)))
+  | Ir.Cmp Ir.Ceq -> Some (bool64 (Int64.equal a b))
+  | Ir.Cmp Ir.Cne -> Some (bool64 (not (Int64.equal a b)))
+  | Ir.Cmp Ir.Clt -> Some (bool64 (Int64.compare a b < 0))
+  | Ir.Cmp Ir.Cle -> Some (bool64 (Int64.compare a b <= 0))
+  | Ir.Cmp Ir.Cgt -> Some (bool64 (Int64.compare a b > 0))
+  | Ir.Cmp Ir.Cge -> Some (bool64 (Int64.compare a b >= 0))
+
+type value = Vconst of int64 | Vcopy of Ir.vreg | Vaddr of string * int
+
+(* --- local constant folding / copy propagation --- *)
+
+let fold_block (_fn : Ir.func) (b : Ir.block) =
+  let env : (Ir.vreg, value) Hashtbl.t = Hashtbl.create 16 in
+  let kill v =
+    Hashtbl.remove env v;
+    (* any copy of v is now stale *)
+    let stale =
+      Hashtbl.fold
+        (fun k value acc ->
+          match value with Vcopy r when r = v -> k :: acc | _ -> acc)
+        env []
+    in
+    List.iter (Hashtbl.remove env) stale
+  in
+  let subst u =
+    match Hashtbl.find_opt env u with Some (Vcopy r) -> r | _ -> u
+  in
+  let const_of u =
+    match Hashtbl.find_opt env u with Some (Vconst c) -> Some c | _ -> None
+  in
+  let rewrite (i : Ir.instr) : Ir.instr list =
+    (* substitute copies in uses only *)
+    let i =
+      match i with
+      | Ir.Li _ | Ir.La _ | Ir.Laslot _ -> i
+      | Ir.Bin { dst; op; a; b } -> Ir.Bin { dst; op; a = subst a; b = subst b }
+      | Ir.Bini { dst; op; a; imm } -> Ir.Bini { dst; op; a = subst a; imm }
+      | Ir.Ld { dst; base; off } -> Ir.Ld { dst; base = subst base; off }
+      | Ir.St { src; base; off } ->
+          Ir.St { src = subst src; base = subst base; off }
+      | Ir.Call { dst; callee; args } ->
+          let callee =
+            match callee with
+            | Ir.Cdirect _ as c -> c
+            | Ir.Cindirect v -> Ir.Cindirect (subst v)
+          in
+          Ir.Call { dst; callee; args = List.map subst args }
+    in
+    (* address-load CSE: reuse a register that already holds this
+       global's address (one address load per block, several LITUSE
+       uses — exactly the pattern the real compilers emitted) *)
+    let i =
+      match i with
+      | Ir.La { dst; sym; off } -> (
+          let existing =
+            Hashtbl.fold
+              (fun v value acc ->
+                match value with
+                | Vaddr (s, o) when String.equal s sym && o = off && v <> dst ->
+                    Some v
+                | _ -> acc)
+              env None
+          in
+          match existing with
+          | Some v -> Ir.Bini { dst; op = Ir.Add; a = v; imm = 0 }
+          | None -> i)
+      | _ -> i
+    in
+    (* fold *)
+    let folded =
+      match i with
+      | Ir.Bin { dst; op; a; b } -> (
+          match (const_of a, const_of b) with
+          | Some ca, Some cb -> (
+              match eval_binop op ca cb with
+              | Some v -> Ir.Li { dst; value = v }
+              | None -> i)
+          | _, Some cb when cb >= 0L && cb <= 255L && op <> Ir.Div && op <> Ir.Rem
+            -> Ir.Bini { dst; op; a; imm = Int64.to_int cb }
+          | _ -> i)
+      | Ir.Bini { dst; op; a; imm } -> (
+          match const_of a with
+          | Some ca -> (
+              match eval_binop op ca (Int64.of_int imm) with
+              | Some v -> Ir.Li { dst; value = v }
+              | None -> i)
+          | None -> i)
+      | _ -> i
+    in
+    (* algebraic identities *)
+    let simplified =
+      match folded with
+      | Ir.Bini { dst; op = Ir.Mul; a; imm = 1 } ->
+          Ir.Bini { dst; op = Ir.Add; a; imm = 0 }
+      | Ir.Bini { dst; op = Ir.Mul; a = _; imm = 0 } -> Ir.Li { dst; value = 0L }
+      | Ir.Bini { dst; op = Ir.Mul; a; imm }
+        when imm > 0 && imm land (imm - 1) = 0 ->
+          (* multiply by a power of two: shift *)
+          let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+          Ir.Bini { dst; op = Ir.Shl; a; imm = log2 imm }
+      | Ir.Bini { dst; op = Ir.And; a = _; imm = 0 } -> Ir.Li { dst; value = 0L }
+      | other -> other
+    in
+    (* update env *)
+    (match Ir.defs simplified with
+    | [] -> ()
+    | ds -> List.iter kill ds);
+    (match simplified with
+    | Ir.Li { dst; value } -> Hashtbl.replace env dst (Vconst value)
+    | Ir.Bini { dst; op = Ir.Add; a; imm = 0 } when dst <> a ->
+        Hashtbl.replace env dst (Vcopy a)
+    | Ir.La { dst; sym; off } -> Hashtbl.replace env dst (Vaddr (sym, off))
+    | _ -> ());
+    [ simplified ]
+  in
+  let body' = List.concat_map rewrite b.Ir.body in
+  let term' =
+    match b.Ir.term with
+    | Ir.Ret (Some v) -> Ir.Ret (Some (subst v))
+    | Ir.Cbr { cond; ifso; ifnot } -> (
+        let cond = subst cond in
+        match const_of cond with
+        | Some 0L -> Ir.Jmp ifnot
+        | Some _ -> Ir.Jmp ifso
+        | None -> Ir.Cbr { cond; ifso; ifnot })
+    | t -> t
+  in
+  b.Ir.body <- body';
+  b.Ir.term <- term'
+
+let fold_constants fn = List.iter (fold_block fn) fn.Ir.blocks
+
+let fold_branches fn =
+  (* thread jumps to empty blocks that only jump onward *)
+  let target = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      match (b.body, b.term) with
+      | [], Ir.Jmp l when l <> b.label -> Hashtbl.replace target b.label l
+      | _ -> ())
+    fn.Ir.blocks;
+  let rec resolve seen l =
+    if List.mem l seen then l
+    else
+      match Hashtbl.find_opt target l with
+      | Some l' -> resolve (l :: seen) l'
+      | None -> l
+  in
+  let resolve = resolve [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.term <-
+        (match b.Ir.term with
+        | Ir.Jmp l -> Ir.Jmp (resolve l)
+        | Ir.Cbr { cond; ifso; ifnot } ->
+            let ifso = resolve ifso and ifnot = resolve ifnot in
+            if ifso = ifnot then Ir.Jmp ifso
+            else Ir.Cbr { cond; ifso; ifnot }
+        | t -> t))
+    fn.Ir.blocks
+
+let remove_unreachable fn =
+  match fn.Ir.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let reachable = Hashtbl.create 16 in
+      let rec visit l =
+        if not (Hashtbl.mem reachable l) then begin
+          Hashtbl.replace reachable l ();
+          match List.find_opt (fun (b : Ir.block) -> b.label = l) fn.Ir.blocks with
+          | Some b -> List.iter visit (Ir.successors b.term)
+          | None -> ()
+        end
+      in
+      visit entry.label;
+      fn.Ir.blocks <-
+        List.filter (fun (b : Ir.block) -> Hashtbl.mem reachable b.label)
+          fn.Ir.blocks
+
+let dead_code fn =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 64 in
+    let mark v = Hashtbl.replace used v () in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter (fun i -> List.iter mark (Ir.uses i)) b.Ir.body;
+        List.iter mark (Ir.term_uses b.Ir.term))
+      fn.Ir.blocks;
+    let pure = function
+      | Ir.Li _ | Ir.Bin _ | Ir.Bini _ | Ir.La _ | Ir.Laslot _ | Ir.Ld _ ->
+          true
+      | Ir.St _ | Ir.Call _ -> false
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        let keep i =
+          match Ir.defs i with
+          | [ d ] when pure i && not (Hashtbl.mem used d) ->
+              changed := true;
+              false
+          | _ -> true
+        in
+        b.Ir.body <- List.filter keep b.Ir.body)
+      fn.Ir.blocks
+  done
+
+let lower_div fn =
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.body <-
+        List.map
+          (fun (i : Ir.instr) ->
+            match i with
+            | Ir.Bin { dst; op = Ir.Div; a; b } ->
+                Ir.Call
+                  { dst = Some dst; callee = Ir.Cdirect "__divq"; args = [ a; b ] }
+            | Ir.Bin { dst; op = Ir.Rem; a; b } ->
+                Ir.Call
+                  { dst = Some dst; callee = Ir.Cdirect "__remq"; args = [ a; b ] }
+            | other -> other)
+          b.Ir.body)
+    fn.Ir.blocks
+
+let run fn =
+  for _round = 1 to 4 do
+    fold_constants fn;
+    fold_branches fn;
+    remove_unreachable fn;
+    dead_code fn
+  done;
+  lower_div fn;
+  (* a final cleanup after division lowering *)
+  fold_branches fn;
+  remove_unreachable fn
+
+let lower_div_only fn = lower_div fn

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for minic.
+
+    Grammar sketch (see {!Ast} for semantics):
+    {v
+    program  ::= top*
+    top      ::= 'extern' 'func' IDENT '(' IDENT,* ')' ';'
+               | 'const' IDENT '=' INT ';'
+               | 'static'? 'var' IDENT ('[' INT ']')? ('=' init)? ';'
+               | 'static'? 'func' IDENT '(' IDENT,* ')' block
+    init     ::= INT | '-' INT | '{' INT,* '}'
+    block    ::= '{' stmt* '}'
+    stmt     ::= 'var' IDENT ('[' INT ']' | '=' expr)? ';'
+               | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+               | 'while' '(' expr ')' block
+               | 'for' '(' simple? ';' expr? ';' simple? ')' block
+               | 'return' expr? ';'
+               | simple ';'
+    simple   ::= lvalue '=' expr | expr
+    v}
+    Binary operators follow C precedence; [&&]/[||] short-circuit. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** Parse a whole source buffer. Raises {!Error} (or {!Lexer.Error}) on
+    malformed input. *)
+
+val parse_result : string -> (Ast.program, string) result
+(** Like {!parse} but formats lexing/parsing errors as
+    ["line L, col C: message"]. *)

@@ -1,0 +1,216 @@
+type loc = Preg of Isa.Reg.t | Spill of int
+
+type allocation = {
+  loc : loc array;
+  nspills : int;
+  used_callee_saved : Isa.Reg.t list;
+}
+
+let caller_pool =
+  Isa.Reg.[ t0; t1; t2; t3; t4; t5; t6; t7; t8; t9 ]
+
+let callee_pool = Isa.Reg.[ s0; s1; s2; s3; s4; s5; fp ]
+
+module ISet = Set.Make (Int)
+
+type interval = {
+  vreg : int;
+  start : int;
+  stop : int;
+  crosses_call : bool;
+}
+
+(* Positions: instruction k of block b (in layout order) has position
+   [block_start.(b) + 2k + 2]; the block's live-in touches
+   [block_start.(b)] and its terminator sits two past the last body
+   instruction. The stride of 2 (and the offset before the first
+   instruction) guarantees that an interval whose endpoint coincides with a
+   call still counts as crossing it only when the value is genuinely live
+   across — parameters defined at position 0 are distinct from a call in
+   the first instruction slot. *)
+let intervals (fn : Ir.func) =
+  let blocks = Array.of_list fn.Ir.blocks in
+  let nb = Array.length blocks in
+  let index_of_label = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (b : Ir.block) -> Hashtbl.replace index_of_label b.label i)
+    blocks;
+  let block_start = Array.make nb 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      block_start.(i) <- !pos;
+      pos := !pos + (2 * List.length b.body) + 4)
+    blocks;
+  let npos = !pos in
+  (* liveness *)
+  let live_in = Array.make nb ISet.empty in
+  let live_out = Array.make nb ISet.empty in
+  let use_def = Array.make nb (ISet.empty, ISet.empty) in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      let use = ref ISet.empty and def = ref ISet.empty in
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun u -> if not (ISet.mem u !def) then use := ISet.add u !use)
+            (Ir.uses instr);
+          List.iter (fun d -> def := ISet.add d !def) (Ir.defs instr))
+        b.body;
+      List.iter
+        (fun u -> if not (ISet.mem u !def) then use := ISet.add u !use)
+        (Ir.term_uses b.term);
+      use_def.(i) <- (!use, !def))
+    blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nb - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l ->
+            match Hashtbl.find_opt index_of_label l with
+            | Some j -> ISet.union acc live_in.(j)
+            | None -> acc)
+          ISet.empty
+          (Ir.successors blocks.(i).Ir.term)
+      in
+      let use, def = use_def.(i) in
+      let inn = ISet.union use (ISet.diff out def) in
+      if not (ISet.equal out live_out.(i) && ISet.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (* interval construction *)
+  let start = Array.make fn.Ir.nvregs max_int in
+  let stop = Array.make fn.Ir.nvregs (-1) in
+  let touch v p =
+    if p < start.(v) then start.(v) <- p;
+    if p > stop.(v) then stop.(v) <- p
+  in
+  (* parameters are defined at entry *)
+  List.iter (fun v -> touch v 0) fn.Ir.params;
+  let call_positions = ref [] in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      let base = block_start.(i) in
+      let last = base + (2 * List.length b.body) + 2 in
+      ISet.iter (fun v -> touch v base) live_in.(i);
+      ISet.iter (fun v -> touch v last) live_out.(i);
+      List.iteri
+        (fun k instr ->
+          let p = base + (2 * k) + 2 in
+          List.iter (fun v -> touch v p) (Ir.defs instr);
+          List.iter (fun v -> touch v p) (Ir.uses instr);
+          match instr with
+          | Ir.Call _ -> call_positions := p :: !call_positions
+          | _ -> ())
+        b.body;
+      List.iter (fun v -> touch v last) (Ir.term_uses b.term))
+    blocks;
+  let calls = List.sort compare !call_positions in
+  let crosses v =
+    List.exists (fun p -> start.(v) < p && p < stop.(v)) calls
+  in
+  let result = ref [] in
+  for v = fn.Ir.nvregs - 1 downto 0 do
+    if stop.(v) >= 0 && start.(v) <> max_int then
+      result :=
+        { vreg = v; start = start.(v); stop = stop.(v); crosses_call = crosses v }
+        :: !result
+  done;
+  (!result, npos)
+
+let allocate (fn : Ir.func) =
+  let ivals, _npos = intervals fn in
+  let ivals = List.sort (fun a b -> compare a.start b.start) ivals in
+  let loc = Array.make (max fn.Ir.nvregs 1) (Spill (-1)) in
+  let free_caller = ref caller_pool in
+  let free_callee = ref callee_pool in
+  let used_callee = ref [] in
+  let nspills = ref 0 in
+  (* active intervals, each with its register and pool *)
+  let active : (interval * Isa.Reg.t * [ `Caller | `Callee ]) list ref =
+    ref []
+  in
+  let expire p =
+    let still, dead =
+      List.partition (fun (iv, _, _) -> iv.stop >= p) !active
+    in
+    active := still;
+    List.iter
+      (fun (_, r, pool) ->
+        match pool with
+        | `Caller -> free_caller := r :: !free_caller
+        | `Callee -> free_callee := r :: !free_callee)
+      dead
+  in
+  let take_callee () =
+    match !free_callee with
+    | r :: rest ->
+        free_callee := rest;
+        if not (List.exists (Isa.Reg.equal r) !used_callee) then
+          used_callee := r :: !used_callee;
+        Some (r, `Callee)
+    | [] -> None
+  in
+  let take_caller () =
+    match !free_caller with
+    | r :: rest ->
+        free_caller := rest;
+        Some (r, `Caller)
+    | [] -> None
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start;
+      let assigned =
+        if iv.crosses_call then take_callee ()
+        else match take_caller () with Some x -> Some x | None -> take_callee ()
+      in
+      match assigned with
+      | Some (r, pool) ->
+          loc.(iv.vreg) <- Preg r;
+          active := (iv, r, pool) :: !active
+      | None ->
+          (* spill the active interval that ends last, if it ends after us
+             and is compatible with our pool needs *)
+          let candidate =
+            List.fold_left
+              (fun best ((cand, _, pool) as entry) ->
+                let ok = (not iv.crosses_call) || pool = `Callee in
+                match best with
+                | _ when not ok -> best
+                | None -> Some entry
+                | Some (b, _, _) ->
+                    if cand.stop > b.stop then Some entry else best)
+              None !active
+          in
+          (match candidate with
+          | Some (victim, r, pool) when victim.stop > iv.stop ->
+              loc.(victim.vreg) <- Spill !nspills;
+              incr nspills;
+              loc.(iv.vreg) <- Preg r;
+              active :=
+                (iv, r, pool)
+                :: List.filter (fun (c, _, _) -> c.vreg <> victim.vreg) !active
+          | _ ->
+              loc.(iv.vreg) <- Spill !nspills;
+              incr nspills))
+    ivals;
+  { loc; nspills = !nspills; used_callee_saved = List.rev !used_callee }
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun v l ->
+      match l with
+      | Preg r -> Format.fprintf ppf "v%d -> %a@," v Isa.Reg.pp r
+      | Spill (-1) -> ()
+      | Spill s -> Format.fprintf ppf "v%d -> spill[%d]@," v s)
+    a.loc;
+  Format.fprintf ppf "%d spill slot(s)@]" a.nspills

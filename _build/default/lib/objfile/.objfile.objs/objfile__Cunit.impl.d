@@ -1,0 +1,1 @@
+lib/objfile/cunit.ml: Array Bytes Format Gat_entry Hashtbl Int32 Isa List Option Reloc Result Section String Symbol

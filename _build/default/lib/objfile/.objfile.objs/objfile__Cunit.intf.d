@@ -1,0 +1,1 @@
+lib/objfile/cunit.mli: Bytes Format Gat_entry Isa Reloc Symbol

@@ -1,0 +1,1 @@
+lib/objfile/gat_entry.ml: Format Hashtbl Stdlib

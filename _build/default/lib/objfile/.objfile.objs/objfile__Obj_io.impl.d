@@ -1,0 +1,1 @@
+lib/objfile/obj_io.ml: Archive Array Bool Buffer Bytes Cunit Fun Gat_entry Int32 List Printf Reloc Section String Symbol

@@ -1,0 +1,1 @@
+lib/objfile/obj_io.mli: Archive Bytes Cunit

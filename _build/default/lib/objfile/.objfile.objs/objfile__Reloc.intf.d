@@ -1,0 +1,1 @@
+lib/objfile/reloc.mli: Format Section

@@ -1,0 +1,1 @@
+lib/objfile/section.ml: Format Stdlib

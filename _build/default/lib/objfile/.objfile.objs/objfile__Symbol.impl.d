@@ -1,0 +1,1 @@
+lib/objfile/symbol.ml: Format Section

@@ -1,0 +1,1 @@
+lib/objfile/symbol.mli: Format Section

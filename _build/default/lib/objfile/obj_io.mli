@@ -1,0 +1,16 @@
+(** Binary serialization of compilation units and archives.
+
+    The on-disk format is a simple little-endian tagged layout with the
+    magic ["WOF1"] (["WAR1"] for archives). [read] is a total inverse of
+    [write]; malformed input yields [Error] rather than an exception. *)
+
+val write : Cunit.t -> Bytes.t
+val read : Bytes.t -> (Cunit.t, string) result
+
+val write_archive : Archive.t -> Bytes.t
+val read_archive : Bytes.t -> (Archive.t, string) result
+
+val save : string -> Cunit.t -> unit
+(** [save path unit] writes the unit to a file. *)
+
+val load : string -> (Cunit.t, string) result

@@ -1,0 +1,1 @@
+lib/om/om.ml: Analysis Array Datalayout Hashtbl Lift Linker Lower Option Result Sched Stats Symbolic Transform Verify

@@ -1,0 +1,1 @@
+lib/om/om.mli: Analysis Datalayout Lift Linker Lower Objfile Sched Stats Symbolic Transform Verify

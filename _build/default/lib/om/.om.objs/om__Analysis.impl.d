@@ -1,0 +1,1 @@
+lib/om/analysis.ml: Array Hashtbl Isa Linker List Objfile Option Symbolic

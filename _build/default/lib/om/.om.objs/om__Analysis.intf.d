@@ -1,0 +1,1 @@
+lib/om/analysis.mli: Hashtbl Isa Symbolic

@@ -1,0 +1,1 @@
+lib/om/datalayout.ml: Array Bytes Isa Linker List Objfile

@@ -1,0 +1,1 @@
+lib/om/datalayout.mli: Linker

@@ -1,0 +1,1 @@
+lib/om/lift.ml: Array Bytes Format Hashtbl Isa Linker List Objfile Seq Symbolic

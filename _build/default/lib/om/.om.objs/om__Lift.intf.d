@@ -1,0 +1,1 @@
+lib/om/lift.mli: Linker Symbolic

@@ -1,0 +1,1 @@
+lib/om/lower.ml: Array Bytes Datalayout Format Hashtbl Int32 Int64 Isa Linker List Objfile Option Symbolic Transform

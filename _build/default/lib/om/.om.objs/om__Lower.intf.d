@@ -1,0 +1,1 @@
+lib/om/lower.mli: Datalayout Linker Symbolic

@@ -1,0 +1,1 @@
+lib/om/sched.ml: Array Isa List Symbolic

@@ -1,0 +1,1 @@
+lib/om/sched.mli: Symbolic

@@ -1,0 +1,1 @@
+lib/om/stats.ml: Analysis Format List Option Symbolic

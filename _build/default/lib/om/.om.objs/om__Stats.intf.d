@@ -1,0 +1,1 @@
+lib/om/stats.mli: Analysis Format Symbolic

@@ -1,0 +1,1 @@
+lib/om/symbolic.ml: Array Format Isa Linker List Printf

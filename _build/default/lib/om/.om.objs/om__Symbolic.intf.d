@@ -1,0 +1,1 @@
+lib/om/symbolic.mli: Format Isa Linker

@@ -1,0 +1,1 @@
+lib/om/transform.ml: Analysis Array Datalayout Hashtbl Isa Linker List Option Stats Symbolic

@@ -1,0 +1,1 @@
+lib/om/transform.mli: Analysis Datalayout Stats Symbolic

@@ -1,0 +1,1 @@
+lib/om/verify.ml: Array Bytes Format Isa Linker List String

@@ -1,0 +1,1 @@
+lib/om/verify.mli: Format Linker

@@ -1,0 +1,375 @@
+module R = Isa.Reg
+module I = Isa.Insn
+module S = Symbolic
+
+type use_status = All_marked of S.node list | Escapes
+
+type call_kind =
+  | Direct of { callee : int; via : [ `Jsr of S.node | `Bsr ] }
+  | Indirect
+
+type callsite = {
+  cs_proc : int;
+  cs_node : S.node;
+  cs_kind : call_kind;
+  cs_reset : (S.node * S.node) option;
+}
+
+type t = {
+  program : S.program;
+  callsites : callsite list;
+  address_taken : bool array;
+  gatload_status : (int, use_status) Hashtbl.t;
+  live_out : (int, int) Hashtbl.t;
+  label_home : (S.label, int * S.node) Hashtbl.t;
+}
+
+let reg_bit r = 1 lsl R.to_int r
+
+let mask_of rs =
+  List.fold_left (fun acc r -> acc lor reg_bit r) 0
+    (List.filter (fun r -> not (R.equal r R.zero)) rs)
+
+let caller_saved_mask = mask_of R.caller_saved lor reg_bit R.gp
+
+(* Classification of nodes that transfer control or call. *)
+type flow =
+  | Fall                      (* ordinary instruction *)
+  | Call                      (* jsr / cross-procedure bsr / pal *)
+  | Cond of S.label           (* conditional branch *)
+  | Goto of S.label           (* unconditional branch *)
+  | Stop                      (* ret, indirect jmp *)
+
+let flow_of ~same_proc_label (n : S.node) =
+  match n.S.insn with
+  | S.Branch { insn = I.Bcond _; target } -> Cond target
+  | S.Branch { insn = I.Br _; target } ->
+      if same_proc_label target then Goto target else Call (* tail-ish *)
+  | S.Branch { insn = I.Bsr _; target } ->
+      if same_proc_label target then Cond target (* local bsr: treat as call below *)
+      else Call
+  | S.Branch _ -> Stop
+  | S.Raw (I.Jump { kind = I.Jsr; _ }) | S.Use { insn = I.Jump { kind = I.Jsr; _ }; _ }
+    -> Call
+  | S.Raw (I.Jump { kind = I.Ret | I.Jmp; _ }) -> Stop
+  | S.Raw (I.Call_pal _) -> Call
+  | _ -> Fall
+
+let is_call_node (n : S.node) ~same_proc_label =
+  match n.S.insn with
+  | S.Raw (I.Jump { kind = I.Jsr; _ })
+  | S.Use { insn = I.Jump { kind = I.Jsr; _ }; _ } -> true
+  | S.Branch { insn = I.Bsr _; target } -> not (same_proc_label target)
+  | _ -> false
+
+(* Effective register effects, treating calls as clobbering/reading per the
+   calling convention. *)
+let eff_defs_uses ~same_proc_label (n : S.node) =
+  if is_call_node n ~same_proc_label then
+    let uses =
+      mask_of R.[ a0; a1; a2; a3; a4; a5; sp; gp ]
+      lor mask_of (S.uses n.S.insn)
+    in
+    (caller_saved_mask, uses)
+  else
+    match n.S.insn with
+    | S.Raw (I.Call_pal _) ->
+        (mask_of [ R.v0 ], mask_of R.[ v0; a0; a1; a2 ])
+    | i -> (mask_of (S.defs i), mask_of (S.uses i))
+
+(* exit liveness: result, stack, callee-saved, GP *)
+let exit_mask =
+  mask_of R.[ v0; sp; gp; s0; s1; s2; s3; s4; s5; fp ]
+
+let run ?(local_only = false) (program : S.program) =
+  let world = program.S.world in
+  (* label homes *)
+  let label_home = Hashtbl.create 256 in
+  Array.iteri
+    (fun pi (proc : S.proc) ->
+      List.iter
+        (fun (n : S.node) ->
+          List.iter (fun l -> Hashtbl.replace label_home l (pi, n)) n.S.labels)
+        proc.S.body)
+    program.S.procs;
+  let live_out : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* --- per-procedure liveness --- *)
+  Array.iteri
+    (fun pi (proc : S.proc) ->
+      let body = Array.of_list proc.S.body in
+      let n = Array.length body in
+      let proc_labels = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (nd : S.node) ->
+          List.iter (fun l -> Hashtbl.replace proc_labels l i) nd.S.labels)
+        body;
+      let same_proc_label l = Hashtbl.mem proc_labels l in
+      (* block starts *)
+      let starts = Array.make n false in
+      if n > 0 then starts.(0) <- true;
+      Array.iteri
+        (fun i (nd : S.node) ->
+          if nd.S.labels <> [] then starts.(i) <- true;
+          match flow_of ~same_proc_label nd with
+          | Cond _ | Goto _ | Stop ->
+              if i + 1 < n then starts.(i + 1) <- true
+          | Call | Fall -> ())
+        body;
+      (* block list: (first, last) inclusive *)
+      let blocks = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let first = !i in
+        let j = ref first in
+        while
+          !j + 1 < n
+          && not starts.(!j + 1)
+        do
+          incr j
+        done;
+        blocks := (first, !j) :: !blocks;
+        i := !j + 1
+      done;
+      let blocks = Array.of_list (List.rev !blocks) in
+      let nb = Array.length blocks in
+      let block_of_index = Array.make n 0 in
+      Array.iteri
+        (fun b (first, last) ->
+          for k = first to last do
+            block_of_index.(k) <- b
+          done)
+        blocks;
+      let succs b =
+        let _, last = blocks.(b) in
+        let fallthrough =
+          if last + 1 < n then [ block_of_index.(last + 1) ] else []
+        in
+        match flow_of ~same_proc_label body.(last) with
+        | Fall | Call -> fallthrough
+        | Stop -> []
+        | Goto l -> (
+            match Hashtbl.find_opt proc_labels l with
+            | Some k -> [ block_of_index.(k) ]
+            | None -> [])
+        | Cond l -> (
+            match Hashtbl.find_opt proc_labels l with
+            | Some k -> block_of_index.(k) :: fallthrough
+            | None -> fallthrough)
+      in
+      (* iterate backward dataflow *)
+      let live_in = Array.make nb 0 in
+      let live_out_blk = Array.make nb 0 in
+      let block_exit b =
+        let _, last = blocks.(b) in
+        match flow_of ~same_proc_label body.(last) with
+        | Stop -> exit_mask
+        | _ -> if last + 1 >= n then exit_mask else 0
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for b = nb - 1 downto 0 do
+          let out =
+            List.fold_left (fun acc s -> acc lor live_in.(s)) (block_exit b)
+              (succs b)
+          in
+          let first, last = blocks.(b) in
+          let live = ref out in
+          for k = last downto first do
+            let d, u = eff_defs_uses ~same_proc_label body.(k) in
+            live := !live land lnot d lor u
+          done;
+          if out <> live_out_blk.(b) || !live <> live_in.(b) then begin
+            live_out_blk.(b) <- out;
+            live_in.(b) <- !live;
+            changed := true
+          end
+        done
+      done;
+      (* record per-node live-out *)
+      Array.iteri
+        (fun b (first, last) ->
+          let live = ref live_out_blk.(b) in
+          for k = last downto first do
+            Hashtbl.replace live_out body.(k).S.nid !live;
+            let d, u = eff_defs_uses ~same_proc_label body.(k) in
+            live := !live land lnot d lor u
+          done)
+        blocks;
+      ignore pi)
+    program.S.procs;
+  (* --- call sites --- *)
+  let callsites = ref [] in
+  Array.iteri
+    (fun pi (proc : S.proc) ->
+      let body = Array.of_list proc.S.body in
+      let n = Array.length body in
+      let proc_labels = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (nd : S.node) ->
+          List.iter (fun l -> Hashtbl.replace proc_labels l i) nd.S.labels)
+        body;
+      let same_proc_label l = Hashtbl.mem proc_labels l in
+      let node_index = Hashtbl.create 64 in
+      Array.iteri (fun i (nd : S.node) -> Hashtbl.replace node_index nd.S.nid i)
+        body;
+      (* resets: Gpsetup_hi anchored at the node right after a call *)
+      let reset_of_call : (int, S.node * S.node) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun (nd : S.node) ->
+          match nd.S.insn with
+          | S.Gpsetup_hi { anchor = S.Alocal l; lo_id; _ } -> (
+              match Hashtbl.find_opt proc_labels l with
+              | Some k when k > 0 -> (
+                  let call = body.(k - 1) in
+                  match S.find_node proc lo_id with
+                  | Some lo ->
+                      Hashtbl.replace reset_of_call call.S.nid (nd, lo)
+                  | None -> ())
+              | _ -> ())
+          | _ -> ())
+        body;
+      let find_load id =
+        match S.find_node proc id with
+        | Some ({ S.insn = S.Gatload _; _ } as nd) -> Some nd
+        | _ -> None
+      in
+      for i = 0 to n - 1 do
+        let nd = body.(i) in
+        let mk kind =
+          callsites :=
+            { cs_proc = pi;
+              cs_node = nd;
+              cs_kind = kind;
+              cs_reset = Hashtbl.find_opt reset_of_call nd.S.nid }
+            :: !callsites
+        in
+        match nd.S.insn with
+        | S.Use { insn = I.Jump { kind = I.Jsr; _ }; load_id; jsr = true } -> (
+            match find_load load_id with
+            | Some ({ S.insn = S.Gatload { key = S.Paddr (Linker.Resolve.Tproc p, 0); _ }; _ }
+                    as load) ->
+                mk (Direct { callee = p; via = `Jsr load })
+            | _ -> mk Indirect)
+        | S.Raw (I.Jump { kind = I.Jsr; _ }) -> mk Indirect
+        | S.Branch { insn = I.Bsr _; target } when not (same_proc_label target)
+          -> (
+            match Hashtbl.find_opt label_home target with
+            | Some (tpi, _) ->
+                mk
+                  (Direct
+                     { callee = program.S.procs.(tpi).S.sp_index; via = `Bsr })
+            | None -> mk Indirect)
+        | S.Branch { insn = I.Bsr _; target } when same_proc_label target ->
+            (* recursive bsr inside the same procedure *)
+            mk (Direct { callee = proc.S.sp_index; via = `Bsr })
+        | _ -> ()
+      done)
+    program.S.procs;
+  (* --- gatload use chains --- *)
+  let gatload_status : (int, use_status) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (proc : S.proc) ->
+      let body = Array.of_list proc.S.body in
+      let n = Array.length body in
+      let proc_labels = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (nd : S.node) ->
+          List.iter (fun l -> Hashtbl.replace proc_labels l i) nd.S.labels)
+        body;
+      let same_proc_label l = Hashtbl.mem proc_labels l in
+      for i = 0 to n - 1 do
+        match body.(i).S.insn with
+        | S.Gatload { ra; _ } ->
+            let load = body.(i) in
+            let bit = reg_bit ra in
+            let rec scan k acc =
+              if k >= n then
+                (* fell off the procedure *)
+                if exit_mask land bit <> 0 then Escapes else All_marked acc
+              else begin
+                let nd = body.(k) in
+                if nd.S.labels <> [] then
+                  (* control-flow join *)
+                  if local_only then Escapes
+                  else if
+                    Hashtbl.find_opt live_out (body.(k - 1)).S.nid
+                    |> Option.value ~default:bit
+                    |> ( land ) bit <> 0
+                  then Escapes
+                  else All_marked acc
+                else
+                  let d, u = eff_defs_uses ~same_proc_label nd in
+                  let marked =
+                    match nd.S.insn with
+                    | S.Use { load_id; _ } -> load_id = load.S.nid
+                    | _ -> false
+                  in
+                  if marked then
+                    let acc = nd :: acc in
+                    if d land bit <> 0 then All_marked acc
+                    else continue_scan k acc
+                  else if u land bit <> 0 then Escapes
+                  else if d land bit <> 0 then All_marked acc
+                  else continue_scan k acc
+              end
+            and continue_scan k acc =
+              let nd = body.(k) in
+              match flow_of ~same_proc_label nd with
+              | Fall | Call -> scan (k + 1) acc
+              | Goto _ | Cond _ | Stop ->
+                  (* end of block *)
+                  if local_only then
+                    (* a traditional linker stops at the first branch *)
+                    Escapes
+                  else if
+                    Hashtbl.find_opt live_out nd.S.nid
+                    |> Option.value ~default:bit
+                    |> ( land ) bit <> 0
+                  then Escapes
+                  else All_marked acc
+            in
+            let status = scan (i + 1) [] in
+            Hashtbl.replace gatload_status load.S.nid
+              (match status with
+              | All_marked acc -> All_marked (List.rev acc)
+              | Escapes -> Escapes)
+        | _ -> ()
+      done)
+    program.S.procs;
+  (* --- address-taken procedures --- *)
+  let address_taken = Array.make (Array.length world.Linker.Resolve.procs) false in
+  address_taken.(world.Linker.Resolve.entry_proc) <- true;
+  Array.iteri
+    (fun m (u : Objfile.Cunit.t) ->
+      List.iter
+        (fun (r : Objfile.Reloc.t) ->
+          match r.kind with
+          | Objfile.Reloc.Refquad { symbol; _ } -> (
+              match Linker.Resolve.resolve world m symbol with
+              | Some (Linker.Resolve.Tproc p) -> address_taken.(p) <- true
+              | _ -> ())
+          | _ -> ())
+        u.Objfile.Cunit.relocs)
+    world.Linker.Resolve.modules;
+  S.iter_nodes program (fun _proc nd ->
+      match nd.S.insn with
+      | S.Gatload { key = S.Paddr (Linker.Resolve.Tproc p, addend); _ } -> (
+          match Hashtbl.find_opt gatload_status nd.S.nid with
+          | Some (All_marked uses)
+            when addend = 0
+                 && List.for_all
+                      (fun (u : S.node) ->
+                        match u.S.insn with
+                        | S.Use { jsr = true; _ } -> true
+                        | _ -> false)
+                      uses
+                 && uses <> [] -> ()
+          | _ -> address_taken.(p) <- true)
+      | _ -> ());
+  { program;
+    callsites = List.rev !callsites;
+    address_taken;
+    gatload_status;
+    live_out;
+    label_home }

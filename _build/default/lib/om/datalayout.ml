@@ -1,0 +1,103 @@
+module L = Linker.Layout
+
+type plan = {
+  group_of_module : int array;
+  ngroups : int;
+  group_gat_off : int array;
+  group_gat_bytes : int array;
+  gp_of_group : int array;
+  data_off : int array;
+  sdata_off : int array;
+  sbss_off : int array;
+  bss_off : int array;
+  common_off : (string * int) list;
+  data_total : int;
+}
+
+let plan (world : Linker.Resolve.t) ~group_of_module ~ngroups ~group_gat_bytes
+    =
+  let nmods = Array.length world.Linker.Resolve.modules in
+  assert (Array.length group_of_module = nmods);
+  assert (Array.length group_gat_bytes = ngroups);
+  let cursor = ref 0 in
+  let group_gat_off = Array.make ngroups 0 in
+  for g = 0 to ngroups - 1 do
+    cursor := L.align !cursor 16;
+    group_gat_off.(g) <- !cursor;
+    cursor := !cursor + group_gat_bytes.(g)
+  done;
+  let place (per_module : int array) size_of =
+    cursor := L.align !cursor L.section_alignment;
+    Array.iteri
+      (fun m u ->
+        let sz = L.align (size_of u) 8 in
+        per_module.(m) <- !cursor;
+        cursor := !cursor + sz)
+      world.Linker.Resolve.modules
+  in
+  let data_off = Array.make nmods 0 in
+  let sdata_off = Array.make nmods 0 in
+  let sbss_off = Array.make nmods 0 in
+  let bss_off = Array.make nmods 0 in
+  place sdata_off (fun u -> Bytes.length u.Objfile.Cunit.sdata);
+  (* commons, smallest first, right after the small data *)
+  let commons =
+    Array.to_list world.Linker.Resolve.objs
+    |> List.filter_map (fun (o : Linker.Resolve.obj_rec) ->
+           match o.o_placement with
+           | Linker.Resolve.Common -> Some (o.o_name, o.o_size)
+           | Linker.Resolve.In_section _ -> None)
+    |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+  in
+  let common_off =
+    List.map
+      (fun (name, size) ->
+        let off = !cursor in
+        cursor := !cursor + L.align size 8;
+        (name, off))
+      commons
+  in
+  place sbss_off (fun u -> u.Objfile.Cunit.sbss_size);
+  place data_off (fun u -> Bytes.length u.Objfile.Cunit.data);
+  place bss_off (fun u -> u.Objfile.Cunit.bss_size);
+  let gp_of_group =
+    Array.map (fun off -> L.data_base + off + L.gp_window_offset) group_gat_off
+  in
+  { group_of_module;
+    ngroups;
+    group_gat_off;
+    group_gat_bytes;
+    gp_of_group;
+    data_off;
+    sdata_off;
+    sbss_off;
+    bss_off;
+    common_off;
+    data_total = L.align !cursor 16 }
+
+let section_off plan m = function
+  | Objfile.Section.Data -> plan.data_off.(m)
+  | Objfile.Section.Sdata -> plan.sdata_off.(m)
+  | Objfile.Section.Sbss -> plan.sbss_off.(m)
+  | Objfile.Section.Bss -> plan.bss_off.(m)
+  | Objfile.Section.Gat -> plan.group_gat_off.(plan.group_of_module.(m))
+  | Objfile.Section.Text ->
+      invalid_arg "Datalayout.section_off: text is not a data section"
+
+let address_of (world : Linker.Resolve.t) plan = function
+  | Linker.Resolve.Tproc _ ->
+      invalid_arg
+        "Datalayout.address_of: procedure addresses come from the text layout"
+  | Linker.Resolve.Tobj i -> (
+      let o = world.Linker.Resolve.objs.(i) in
+      match o.o_placement with
+      | Linker.Resolve.In_section { s_module; section; offset } ->
+          L.data_base + section_off plan s_module section + offset
+      | Linker.Resolve.Common ->
+          L.data_base + List.assoc o.o_name plan.common_off)
+
+let gp_of_proc plan ~sp_module =
+  plan.gp_of_group.(plan.group_of_module.(sp_module))
+
+let in_window plan ~group addr =
+  Isa.Insn.fits_disp16 (addr - plan.gp_of_group.(group))

@@ -1,0 +1,202 @@
+module I = Isa.Insn
+module S = Symbolic
+
+exception Lift_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Lift_error m)) fmt
+
+let run (world : Linker.Resolve.t) =
+  try
+    let program =
+      { S.world;
+        procs = [||];
+        next_label = 0;
+        next_node = 0;
+        entry_name = world.Linker.Resolve.procs.(world.Linker.Resolve.entry_proc).p_name }
+    in
+    (* labels are addressed by (module, text offset) *)
+    let label_table : (int * int, S.label) Hashtbl.t = Hashtbl.create 256 in
+    let label_at m off =
+      match Hashtbl.find_opt label_table (m, off) with
+      | Some l -> l
+      | None ->
+          let l = S.fresh_label program in
+          Hashtbl.replace label_table (m, off) l;
+          l
+    in
+    (* per-module node tables, for LITUSE/GPDISP back-links *)
+    let node_at : (int * int, S.node) Hashtbl.t = Hashtbl.create 1024 in
+    let proc_of_node : (int, S.proc) Hashtbl.t = Hashtbl.create 1024 in
+    let lift_proc m (u : Objfile.Cunit.t) insns (p : Linker.Resolve.proc_rec)
+        pidx =
+      let first = p.p_offset / 4 in
+      let count = p.p_size / 4 in
+      let nodes =
+        List.init count (fun k ->
+            let off = p.p_offset + (4 * k) in
+            let insn = insns.(first + k) in
+            let sinsn =
+              match insn with
+              | I.Br { disp; _ } | I.Bsr { disp; _ } | I.Bcond { disp; _ } ->
+                  let target_off = off + 4 + (4 * disp) in
+                  if target_off < 0 || target_off > Bytes.length u.Objfile.Cunit.text
+                  then
+                    fail "%s+%#x: branch target %#x outside module text"
+                      u.Objfile.Cunit.name off target_off;
+                  S.Branch { insn; target = label_at m target_off }
+              | other -> S.Raw other
+            in
+            let node = S.make_node program sinsn in
+            Hashtbl.replace node_at (m, off) node;
+            node)
+      in
+      let proc =
+        { S.sp_index = pidx;
+          sp_name = p.Linker.Resolve.p_name;
+          sp_module = m;
+          entry_label = label_at m p.p_offset;
+          body = nodes;
+          sp_gp_group = 0 }
+      in
+      List.iter (fun (n : S.node) -> Hashtbl.replace proc_of_node n.S.nid proc)
+        nodes;
+      proc
+    in
+    (* procedures in text order per module *)
+    let procs = ref [] in
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        let insns = Objfile.Cunit.insns u in
+        let module_procs =
+          world.Linker.Resolve.procs
+          |> Array.to_seqi
+          |> Seq.filter (fun (_, (p : Linker.Resolve.proc_rec)) ->
+                 p.p_module = m)
+          |> List.of_seq
+          |> List.sort
+               (fun (_, (a : Linker.Resolve.proc_rec)) (_, b) ->
+                 compare a.p_offset b.p_offset)
+        in
+        (* coverage check *)
+        let covered =
+          List.fold_left
+            (fun cursor (_, (p : Linker.Resolve.proc_rec)) ->
+              if p.p_offset <> cursor then
+                fail "%s: text gap before %s (at %#x, expected %#x)"
+                  u.Objfile.Cunit.name p.p_name p.p_offset cursor;
+              cursor + p.p_size)
+            0 module_procs
+        in
+        if covered <> Bytes.length u.Objfile.Cunit.text then
+          fail "%s: procedures cover %d of %d text bytes" u.Objfile.Cunit.name
+            covered
+            (Bytes.length u.Objfile.Cunit.text);
+        List.iter
+          (fun (pidx, p) -> procs := lift_proc m u insns p pidx :: !procs)
+          module_procs)
+      world.Linker.Resolve.modules;
+    program.S.procs <- Array.of_list (List.rev !procs);
+    (* apply relocations *)
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        List.iter
+          (fun (r : Objfile.Reloc.t) ->
+            if Objfile.Section.equal r.section Objfile.Section.Text then begin
+              let node =
+                match Hashtbl.find_opt node_at (m, r.offset) with
+                | Some n -> n
+                | None ->
+                    fail "%s: relocation at %#x hits no instruction"
+                      u.Objfile.Cunit.name r.offset
+              in
+              match r.kind with
+              | Objfile.Reloc.Literal { gat_index } -> (
+                  let entry = u.Objfile.Cunit.gat.(gat_index) in
+                  let key =
+                    match entry with
+                    | Objfile.Gat_entry.Addr { symbol; addend } ->
+                        S.Paddr
+                          (Linker.Resolve.resolve_exn world m symbol, addend)
+                    | Objfile.Gat_entry.Const c -> S.Pconst c
+                  in
+                  match node.S.insn with
+                  | S.Raw (I.Ldq { ra; _ }) ->
+                      node.S.insn <- S.Gatload { ra; key }
+                  | _ ->
+                      fail "%s+%#x: LITERAL not on an address load"
+                        u.Objfile.Cunit.name r.offset)
+              | Objfile.Reloc.Lituse_base { load_offset }
+              | Objfile.Reloc.Lituse_jsr { load_offset } -> (
+                  let jsr =
+                    match r.kind with
+                    | Objfile.Reloc.Lituse_jsr _ -> true
+                    | _ -> false
+                  in
+                  let load =
+                    match Hashtbl.find_opt node_at (m, load_offset) with
+                    | Some n -> n
+                    | None ->
+                        fail "%s+%#x: dangling LITUSE" u.Objfile.Cunit.name
+                          r.offset
+                  in
+                  match node.S.insn with
+                  | S.Raw insn ->
+                      node.S.insn <- S.Use { insn; load_id = load.S.nid; jsr }
+                  | _ ->
+                      fail "%s+%#x: LITUSE on a non-plain instruction"
+                        u.Objfile.Cunit.name r.offset)
+              | Objfile.Reloc.Gpdisp { anchor; pair } -> (
+                  let lo =
+                    match Hashtbl.find_opt node_at (m, pair) with
+                    | Some n -> n
+                    | None ->
+                        fail "%s+%#x: dangling GPDISP pair" u.Objfile.Cunit.name
+                          r.offset
+                  in
+                  (* is the anchor this node's enclosing procedure entry? *)
+                  let is_entry =
+                    match Hashtbl.find_opt proc_of_node node.S.nid with
+                    | Some proc ->
+                        let p = world.Linker.Resolve.procs.(proc.S.sp_index) in
+                        p.Linker.Resolve.p_offset = anchor
+                    | None -> false
+                  in
+                  let a =
+                    if is_entry then S.Aentry else S.Alocal (label_at m anchor)
+                  in
+                  match (node.S.insn, lo.S.insn) with
+                  | S.Raw (I.Ldah { rb; _ }), S.Raw (I.Lda _) ->
+                      node.S.insn <-
+                        S.Gpsetup_hi { base = rb; anchor = a; lo_id = lo.S.nid };
+                      lo.S.insn <- S.Gpsetup_lo
+                  | _ ->
+                      fail "%s+%#x: GPDISP not on an ldah/lda pair"
+                        u.Objfile.Cunit.name r.offset)
+              | Objfile.Reloc.Refquad _ ->
+                  fail "%s+%#x: REFQUAD in text" u.Objfile.Cunit.name r.offset
+              | Objfile.Reloc.Gprel16 { symbol; addend } -> (
+                  (* optimistically-compiled direct GP-relative access *)
+                  let target = Linker.Resolve.resolve_exn world m symbol in
+                  match node.S.insn with
+                  | S.Raw
+                      (( I.Lda { rb; _ } | I.Ldq { rb; _ } | I.Stq { rb; _ } ) as
+                       insn)
+                    when Isa.Reg.equal rb Isa.Reg.gp ->
+                      node.S.insn <-
+                        S.Gprel { insn; target; addend; part = S.Pfull }
+                  | _ ->
+                      fail "%s+%#x: GPREL16 not on a gp-based memory op"
+                        u.Objfile.Cunit.name r.offset)
+            end)
+          u.Objfile.Cunit.relocs)
+      world.Linker.Resolve.modules;
+    (* attach labels to nodes *)
+    Hashtbl.iter
+      (fun (m, off) label ->
+        match Hashtbl.find_opt node_at (m, off) with
+        | Some n -> n.S.labels <- label :: n.S.labels
+        | None ->
+            fail "label target %#x in module %d hits no instruction" off m)
+      label_table;
+    Ok program
+  with Lift_error m -> Error m

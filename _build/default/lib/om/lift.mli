@@ -1,0 +1,14 @@
+(** Translating linked object code into the symbolic form.
+
+    The lifter leans on exactly the loader hints the paper names: LITERAL
+    relocations mark the address loads, LITUSE relocations link each use
+    back to its address load, GPDISP relocations identify the GP-setup
+    pairs and their anchor addresses, and procedure descriptors give
+    boundaries. Everything else decodes to concrete instructions, with
+    PC-relative branches re-expressed against labels so that code can move
+    without breaking displacements. *)
+
+val run : Linker.Resolve.t -> (Symbolic.program, string) result
+(** Lift every procedure of the resolved program. Fails if a module's text
+    is not fully covered by procedure symbols, a relocation is
+    inconsistent, or a branch leaves the program text. *)

@@ -1,0 +1,353 @@
+module S = Symbolic
+module I = Isa.Insn
+module R = Isa.Reg
+module L = Linker.Layout
+
+type options = { align_branch_targets : bool }
+
+let default_options = { align_branch_targets = false }
+
+exception Lower_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Lower_error m)) fmt
+
+(* A placement: every node gets an offset; padding no-ops are recorded
+   separately as offsets where a nop must be emitted. *)
+type placement = {
+  node_off : (int, int) Hashtbl.t;    (* nid -> text offset *)
+  proc_off : int array;               (* per program proc *)
+  proc_end : int array;
+  pad_offsets : int list;
+  text_size : int;
+}
+
+let assign_offsets (program : S.program) ~align ~(aligned_labels : (S.label, unit) Hashtbl.t) =
+  let node_off = Hashtbl.create 4096 in
+  let nprocs = Array.length program.S.procs in
+  let proc_off = Array.make nprocs 0 in
+  let proc_end = Array.make nprocs 0 in
+  let pads = ref [] in
+  let off = ref 0 in
+  Array.iteri
+    (fun pi (proc : S.proc) ->
+      let first = ref true in
+      (* a pad for the procedure's first instruction belongs to the gap
+         before the procedure, not inside it *)
+      (match proc.S.body with
+      | n :: _
+        when align
+             && List.exists (Hashtbl.mem aligned_labels) n.S.labels
+             && !off land 7 <> 0 ->
+          pads := !off :: !pads;
+          off := !off + 4
+      | _ -> ());
+      proc_off.(pi) <- !off;
+      List.iter
+        (fun (n : S.node) ->
+          if
+            align
+            && (not !first)
+            && List.exists (Hashtbl.mem aligned_labels) n.S.labels
+            && !off land 7 <> 0
+          then begin
+            pads := !off :: !pads;
+            off := !off + 4
+          end;
+          first := false;
+          Hashtbl.replace node_off n.S.nid !off;
+          off := !off + (4 * S.insn_of_width n.S.insn))
+        proc.S.body;
+      proc_end.(pi) <- !off)
+    program.S.procs;
+  { node_off;
+    proc_off;
+    proc_end;
+    pad_offsets = List.rev !pads;
+    text_size = !off }
+
+let run ?(options = default_options) (program : S.program)
+    (plan : Datalayout.plan) =
+  try
+    let world = program.S.world in
+    (* find labels that are targets of backward branches (tentative
+       placement without padding decides direction) *)
+    let aligned_labels : (S.label, unit) Hashtbl.t = Hashtbl.create 64 in
+    let tentative =
+      assign_offsets program ~align:false ~aligned_labels:(Hashtbl.create 0)
+    in
+    let label_off_of placement =
+      let tbl = Hashtbl.create 256 in
+      Array.iter
+        (fun (proc : S.proc) ->
+          List.iter
+            (fun (n : S.node) ->
+              match Hashtbl.find_opt placement.node_off n.S.nid with
+              | Some o -> List.iter (fun l -> Hashtbl.replace tbl l o) n.S.labels
+              | None -> ())
+            proc.S.body)
+        program.S.procs;
+      tbl
+    in
+    if options.align_branch_targets then begin
+      let t_labels = label_off_of tentative in
+      S.iter_nodes program (fun _proc n ->
+          match n.S.insn with
+          | S.Branch { target; _ } -> (
+              match
+                ( Hashtbl.find_opt tentative.node_off n.S.nid,
+                  Hashtbl.find_opt t_labels target )
+              with
+              | Some bo, Some to_ when to_ <= bo ->
+                  Hashtbl.replace aligned_labels target ()
+              | _ -> ())
+          | _ -> ());
+      (* never pad at a GPDISP anchor: the anchor must stay exactly at the
+         call's return point *)
+      S.iter_nodes program (fun _proc n ->
+          match n.S.insn with
+          | S.Gpsetup_hi { anchor = S.Alocal l; _ } ->
+              Hashtbl.remove aligned_labels l
+          | _ -> ())
+    end;
+    let placement =
+      assign_offsets program ~align:options.align_branch_targets
+        ~aligned_labels
+    in
+    let label_addr =
+      let tbl = label_off_of placement in
+      fun l ->
+        match Hashtbl.find_opt tbl l with
+        | Some o -> L.text_base + o
+        | None -> fail "undefined label L%d" l
+    in
+    (* procedure addresses (for pool values and symbols) *)
+    let proc_addr = Array.make (Array.length world.Linker.Resolve.procs) 0 in
+    Array.iteri
+      (fun pi (proc : S.proc) ->
+        proc_addr.(proc.S.sp_index) <- L.text_base + placement.proc_off.(pi))
+      program.S.procs;
+    let address_of_target = function
+      | Linker.Resolve.Tproc p -> proc_addr.(p)
+      | Linker.Resolve.Tobj _ as t -> Datalayout.address_of world plan t
+    in
+    (* GAT slot allocation per group, on demand *)
+    let group_alloc = Array.init plan.Datalayout.ngroups (fun _ -> Hashtbl.create 32) in
+    let group_next = Array.make plan.Datalayout.ngroups 0 in
+    let slot_addr ~group key =
+      let tbl = group_alloc.(group) in
+      let slot =
+        match Hashtbl.find_opt tbl key with
+        | Some s -> s
+        | None ->
+            let s = group_next.(group) in
+            if (s + 1) * 8 > plan.Datalayout.group_gat_bytes.(group) then
+              fail "GAT group %d overflows its reservation (%d bytes)" group
+                plan.Datalayout.group_gat_bytes.(group);
+            group_next.(group) <- s + 1;
+            Hashtbl.replace tbl key s;
+            s
+      in
+      L.data_base + plan.Datalayout.group_gat_off.(group) + (8 * slot)
+    in
+    (* encode text *)
+    let text = Bytes.make placement.text_size '\000' in
+    let emit off insn =
+      Bytes.set_int32_le text off (Int32.of_int (Isa.Encode.insn insn))
+    in
+    List.iter (fun off -> emit off I.nop) placement.pad_offsets;
+    let lo_values : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    Array.iteri
+      (fun pi (proc : S.proc) ->
+        let group = plan.Datalayout.group_of_module.(proc.S.sp_module) in
+        let gp = plan.Datalayout.gp_of_group.(group) in
+        List.iter
+          (fun (n : S.node) ->
+            let off = Hashtbl.find placement.node_off n.S.nid in
+            let addr = L.text_base + off in
+            match n.S.insn with
+            | S.Raw i -> emit off i
+            | S.Use { insn; _ } -> emit off insn
+            | S.Gatload { ra; key } ->
+                let pool_key =
+                  match key with
+                  | S.Paddr (t, a) -> `Addr (t, a)
+                  | S.Pconst c -> `Const c
+                in
+                let sa = slot_addr ~group pool_key in
+                let disp = sa - gp in
+                if not (I.fits_disp16 disp) then
+                  fail "%s: GAT slot out of GP range (disp %d)" proc.S.sp_name
+                    disp;
+                emit off (I.Ldq { ra; rb = R.gp; disp })
+            | S.Gpsetup_hi { base; anchor; lo_id } ->
+                let anchor_addr =
+                  match anchor with
+                  | S.Aentry -> L.text_base + placement.proc_off.(pi)
+                  | S.Alocal l -> label_addr l
+                in
+                let hi, lo = I.split32 (gp - anchor_addr) in
+                Hashtbl.replace lo_values lo_id lo;
+                emit off (I.Ldah { ra = R.gp; rb = base; disp = hi })
+            | S.Gpsetup_lo ->
+                let lo =
+                  match Hashtbl.find_opt lo_values n.S.nid with
+                  | Some v -> v
+                  | None ->
+                      fail "%s: orphan GP-setup low half (n%d)" proc.S.sp_name
+                        n.S.nid
+                in
+                emit off (I.Lda { ra = R.gp; rb = R.gp; disp = lo })
+            | S.Branch { insn; target } ->
+                let disp = (label_addr target - (addr + 4)) asr 2 in
+                if not (I.fits_disp21 disp) then
+                  fail "%s: branch displacement %d out of range" proc.S.sp_name
+                    disp;
+                emit off (I.with_branch_disp insn disp)
+            | S.Gprel { insn; target; addend; part } -> (
+                let rel = address_of_target target + addend - gp in
+                let rebuild disp =
+                  match insn with
+                  | I.Ldq { ra; _ } -> I.Ldq { ra; rb = R.gp; disp }
+                  | I.Stq { ra; _ } -> I.Stq { ra; rb = R.gp; disp }
+                  | I.Lda { ra; _ } -> I.Lda { ra; rb = R.gp; disp }
+                  | I.Ldah { ra; _ } -> I.Ldah { ra; rb = R.gp; disp }
+                  | _ -> fail "%s: bad gp-relative template" proc.S.sp_name
+                in
+                let keep_base disp =
+                  match insn with
+                  | I.Ldq { ra; rb; _ } -> I.Ldq { ra; rb; disp }
+                  | I.Stq { ra; rb; _ } -> I.Stq { ra; rb; disp }
+                  | I.Lda { ra; rb; _ } -> I.Lda { ra; rb; disp }
+                  | _ -> fail "%s: bad low-half template" proc.S.sp_name
+                in
+                match part with
+                | S.Pfull ->
+                    if not (I.fits_disp16 rel) then
+                      fail "%s: gp-relative displacement %d does not fit"
+                        proc.S.sp_name rel;
+                    emit off (rebuild rel)
+                | S.Phi ->
+                    let hi, _ = I.split32 rel in
+                    emit off (rebuild hi)
+                | S.Plo extra ->
+                    let _, lo = I.split32 rel in
+                    if not (I.fits_disp16 (lo + extra)) then
+                      fail "%s: low half %d does not fit" proc.S.sp_name
+                        (lo + extra);
+                    emit off (keep_base (lo + extra)))
+            | S.Lea_wide { ra; target; addend } ->
+                let rel = address_of_target target + addend - gp in
+                let hi, lo = I.split32 rel in
+                emit off (I.Ldah { ra; rb = R.gp; disp = hi });
+                emit (off + 4) (I.Lda { ra; rb = ra; disp = lo }))
+          proc.S.body)
+      program.S.procs;
+    (* data region *)
+    let data = Bytes.make plan.Datalayout.data_total '\000' in
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        Bytes.blit u.data 0 data plan.Datalayout.data_off.(m)
+          (Bytes.length u.data);
+        Bytes.blit u.sdata 0 data plan.Datalayout.sdata_off.(m)
+          (Bytes.length u.sdata))
+      world.Linker.Resolve.modules;
+    (* pool contents *)
+    Array.iteri
+      (fun g tbl ->
+        Hashtbl.iter
+          (fun key slot ->
+            let v =
+              match key with
+              | `Addr (t, a) -> Int64.of_int (address_of_target t + a)
+              | `Const c -> c
+            in
+            Bytes.set_int64_le data
+              (plan.Datalayout.group_gat_off.(g) + (8 * slot))
+              v)
+          tbl)
+      group_alloc;
+    (* refquads *)
+    Array.iteri
+      (fun m (u : Objfile.Cunit.t) ->
+        List.iter
+          (fun (r : Objfile.Reloc.t) ->
+            match r.kind with
+            | Objfile.Reloc.Refquad { symbol; addend } ->
+                let addr =
+                  address_of_target (Linker.Resolve.resolve_exn world m symbol)
+                  + addend
+                in
+                let sec_off =
+                  match r.section with
+                  | Objfile.Section.Data -> plan.Datalayout.data_off.(m)
+                  | Objfile.Section.Sdata -> plan.Datalayout.sdata_off.(m)
+                  | s ->
+                      fail "refquad in unsupported section %s"
+                        (Objfile.Section.name s)
+                in
+                Bytes.set_int64_le data (sec_off + r.offset) (Int64.of_int addr)
+            | _ -> ())
+          u.Objfile.Cunit.relocs)
+      world.Linker.Resolve.modules;
+    (* metadata *)
+    let procs_meta =
+      Array.mapi
+        (fun pi (proc : S.proc) ->
+          let w = world.Linker.Resolve.procs.(proc.S.sp_index) in
+          let group = plan.Datalayout.group_of_module.(proc.S.sp_module) in
+          let uses_gp =
+            List.exists
+              (fun (n : S.node) ->
+                match n.S.insn with
+                | S.Gatload _ | S.Gpsetup_hi _ | S.Gpsetup_lo | S.Gprel _
+                | S.Lea_wide _ -> true
+                | _ -> false)
+              proc.S.body
+          in
+          { Linker.Image.name = proc.S.sp_name;
+            entry = L.text_base + placement.proc_off.(pi);
+            size = placement.proc_end.(pi) - placement.proc_off.(pi);
+            gp_value = plan.Datalayout.gp_of_group.(group);
+            module_name =
+              world.Linker.Resolve.modules.(proc.S.sp_module).Objfile.Cunit.name;
+            exported = w.p_exported;
+            uses_gp;
+            gp_setup_at_entry =
+              Option.is_some (Transform.setup_at_entry proc) })
+        program.S.procs
+    in
+    let symbols =
+      Hashtbl.fold
+        (fun name tgt acc ->
+          match tgt with
+          | Linker.Resolve.Tproc p -> (name, proc_addr.(p)) :: acc
+          | Linker.Resolve.Tobj _ as t -> (name, address_of_target t) :: acc)
+        world.Linker.Resolve.globals []
+      |> List.sort compare
+    in
+    let entry_idx = world.Linker.Resolve.entry_proc in
+    let gat_used =
+      Array.fold_left (fun acc n -> acc + (8 * n)) 0 group_next
+    in
+    let image =
+      { Linker.Image.text_base = L.text_base;
+        text;
+        data_base = L.data_base;
+        data;
+        entry = proc_addr.(entry_idx);
+        procs = procs_meta;
+        symbols;
+        heap_base = L.align (L.data_base + plan.Datalayout.data_total) 4096;
+        gat_base = L.data_base + plan.Datalayout.group_gat_off.(0);
+        gat_bytes =
+          (let last = plan.Datalayout.ngroups - 1 in
+           plan.Datalayout.group_gat_off.(last)
+           + plan.Datalayout.group_gat_bytes.(last)
+           - plan.Datalayout.group_gat_off.(0));
+        ngroups = plan.Datalayout.ngroups }
+    in
+    (match Linker.Image.validate image with
+    | Ok () -> ()
+    | Error m -> fail "invalid image: %s" m);
+    Ok (image, gat_used)
+  with Lower_error m -> Error m

@@ -1,0 +1,18 @@
+(** Generating an executable image from the (transformed) symbolic form.
+
+    Lowering assigns final text offsets (optionally quadword-aligning
+    instructions that are the targets of backward branches, which helps the
+    dual-issue hardware), allocates the final GAT from the address loads
+    that actually survive (GAT reduction becomes visible here), patches
+    every symbolic operand, lays out the data region per the
+    {!Datalayout.plan}, and fills in the loader metadata. *)
+
+type options = { align_branch_targets : bool }
+
+val default_options : options
+
+val run :
+  ?options:options -> Symbolic.program -> Datalayout.plan ->
+  (Linker.Image.t * int, string) result
+(** Returns the image and the final GAT size in bytes (the number of slots
+    actually allocated, before padding to the plan's reservation). *)

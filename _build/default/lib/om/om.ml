@@ -1,0 +1,115 @@
+(* Re-exports: [om.ml] is the library's root module. *)
+module Symbolic = Symbolic
+module Lift = Lift
+module Analysis = Analysis
+module Datalayout = Datalayout
+module Transform = Transform
+module Sched = Sched
+module Lower = Lower
+module Stats = Stats
+module Verify = Verify
+
+module S = Symbolic
+
+type level = No_opt | Simple | Full | Full_sched
+
+let level_name = function
+  | No_opt -> "om-noopt"
+  | Simple -> "om-simple"
+  | Full -> "om-full"
+  | Full_sched -> "om-full+sched"
+
+let all_levels = [ No_opt; Simple; Full; Full_sched ]
+
+type output = {
+  image : Linker.Image.t;
+  stats : Stats.t;
+}
+
+(* Reserved GAT for the Full levels: a superset of what can survive the
+   transformations — literal constants and procedure-address entries. Data
+   addresses never survive OM-full (each becomes GP-relative or an
+   ldah/lda pair). *)
+let planned_full_gat ~addr_opt (program : S.program) =
+  let keys = Hashtbl.create 32 in
+  S.iter_nodes program (fun _proc n ->
+      match n.S.insn with
+      | S.Gatload { key = S.Pconst _ as k; _ }
+      | S.Gatload { key = S.Paddr (Linker.Resolve.Tproc _, _) as k; _ } ->
+          Hashtbl.replace keys k ()
+      | S.Gatload { key = k; _ } when not addr_opt ->
+          (* address optimization ablated: data entries survive too *)
+          Hashtbl.replace keys k ()
+      | _ -> ());
+  Hashtbl.length keys
+
+let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
+  let topts =
+    Option.value transform_options ~default:Transform.default_options
+  in
+  match Lift.run world with
+  | Error m -> Error ("om: lift: " ^ m)
+  | Ok program -> (
+      let merged = Linker.Gat.merge world in
+      let merged_group_bytes =
+        Array.init merged.Linker.Gat.ngroups (fun g ->
+            let first = merged.Linker.Gat.group_first_slot.(g) in
+            let next =
+              if g + 1 < merged.Linker.Gat.ngroups then
+                merged.Linker.Gat.group_first_slot.(g + 1)
+              else Array.length merged.Linker.Gat.slots
+            in
+            8 * (next - first))
+      in
+      let plan =
+        match level with
+        | No_opt | Simple ->
+            Datalayout.plan world
+              ~group_of_module:merged.Linker.Gat.group_of_module
+              ~ngroups:merged.Linker.Gat.ngroups
+              ~group_gat_bytes:merged_group_bytes
+        | Full | Full_sched ->
+            let planned =
+              planned_full_gat ~addr_opt:topts.Transform.opt_addr program
+            in
+            if planned <= Linker.Layout.gat_group_capacity then
+              Datalayout.plan world
+                ~group_of_module:
+                  (Array.map (fun _ -> 0) merged.Linker.Gat.group_of_module)
+                ~ngroups:1
+                ~group_gat_bytes:[| max 16 (8 * planned) |]
+            else
+              (* degenerate huge program: fall back to the merged grouping *)
+              Datalayout.plan world
+                ~group_of_module:merged.Linker.Gat.group_of_module
+                ~ngroups:merged.Linker.Gat.ngroups
+                ~group_gat_bytes:merged_group_bytes
+      in
+      let stats = Stats.create () in
+      stats.Stats.gat_bytes_before <- Linker.Gat.size_bytes merged;
+      (match level with
+      | No_opt ->
+          stats.Stats.insns_before <- S.static_insn_count program;
+          stats.Stats.insns_after <- stats.Stats.insns_before
+      | Simple ->
+          ignore (Transform.run ~options:topts Transform.Simple program plan stats)
+      | Full ->
+          ignore (Transform.run ~options:topts Transform.Full program plan stats)
+      | Full_sched ->
+          ignore (Transform.run ~options:topts Transform.Full program plan stats);
+          Sched.run program);
+      let options =
+        { Lower.align_branch_targets = (level = Full_sched) }
+      in
+      match Lower.run ~options program plan with
+      | Error m -> Error ("om: lower: " ^ m)
+      | Ok (image, gat_used) -> (
+          stats.Stats.gat_bytes_after <- gat_used;
+          (* a second pair of eyes over the rewritten bytes *)
+          match Verify.check image with
+          | Ok () -> Ok { image; stats }
+          | Error m -> Error ("om: verify: " ^ m)))
+
+let link ?(level = Full) ?entry units ~archives =
+  Result.bind (Linker.Resolve.run ?entry units ~archives) (fun world ->
+      optimize_resolved level world)

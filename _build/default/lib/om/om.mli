@@ -1,0 +1,49 @@
+(** Submodules of the optimizer, re-exported. *)
+
+module Symbolic : module type of Symbolic
+module Lift : module type of Lift
+module Analysis : module type of Analysis
+module Datalayout : module type of Datalayout
+module Transform : module type of Transform
+module Sched : module type of Sched
+module Lower : module type of Lower
+module Stats : module type of Stats
+module Verify : module type of Verify
+
+(** OM, the optimizing linker: the paper's system, end to end.
+
+    [link] resolves the input modules exactly as the standard linker does,
+    then translates the whole program to symbolic form, optimizes at the
+    requested level, and generates the executable:
+
+    - [No_opt] — translate and regenerate with no transformation (the
+      "OM, no optimization" column of the paper's build-time table; also
+      the reference point that must behave identically to a standard
+      link);
+    - [Simple] — OM-simple: local analysis, no code motion, removals
+      become no-ops;
+    - [Full] — OM-full: code motion, deletion, GAT reduction;
+    - [Full_sched] — OM-full plus per-block rescheduling and quadword
+      alignment of backward-branch targets. *)
+
+type level = No_opt | Simple | Full | Full_sched
+
+val level_name : level -> string
+val all_levels : level list
+
+type output = {
+  image : Linker.Image.t;
+  stats : Stats.t;
+}
+
+val link :
+  ?level:level -> ?entry:string -> Objfile.Cunit.t list ->
+  archives:Objfile.Archive.t list -> (output, string) result
+(** Default level is [Full]. *)
+
+val optimize_resolved :
+  ?transform_options:Transform.options -> level -> Linker.Resolve.t ->
+  (output, string) result
+(** The back half of {!link}, for callers that already resolved the
+    program (shared with the measurement harness, which resolves once and
+    links many ways). *)

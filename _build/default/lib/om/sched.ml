@@ -1,0 +1,85 @@
+module S = Symbolic
+module I = Isa.Insn
+module R = Isa.Reg
+
+let node_of_sinsn (si : S.sinsn) : Isa.Schedule.node =
+  match si with
+  | S.Raw i -> Isa.Schedule.node_of_insn i
+  | S.Use { insn; _ } -> Isa.Schedule.node_of_insn insn
+  | S.Gatload { ra; _ } ->
+      Isa.Schedule.node_of_insn (I.Ldq { ra; rb = R.gp; disp = 0 })
+  | S.Gpsetup_hi { base; _ } ->
+      Isa.Schedule.node_of_insn (I.Ldah { ra = R.gp; rb = base; disp = 0 })
+  | S.Gpsetup_lo ->
+      Isa.Schedule.node_of_insn (I.Lda { ra = R.gp; rb = R.gp; disp = 0 })
+  | S.Branch { insn; _ } -> Isa.Schedule.node_of_insn ~barrier:true insn
+  | S.Gprel { insn; part; _ } -> (
+      match part with
+      | S.Pfull | S.Phi ->
+          (* model the lowered shape: base register becomes gp *)
+          let rebuilt =
+            match insn with
+            | I.Ldq { ra; _ } -> I.Ldq { ra; rb = R.gp; disp = 0 }
+            | I.Stq { ra; _ } -> I.Stq { ra; rb = R.gp; disp = 0 }
+            | I.Lda { ra; _ } -> I.Lda { ra; rb = R.gp; disp = 0 }
+            | I.Ldah { ra; _ } -> I.Ldah { ra; rb = R.gp; disp = 0 }
+            | other -> other
+          in
+          Isa.Schedule.node_of_insn rebuilt
+      | S.Plo _ -> Isa.Schedule.node_of_insn insn)
+  | S.Lea_wide { ra; _ } ->
+      { (Isa.Schedule.node_of_insn (I.Lda { ra; rb = R.gp; disp = 0 })) with
+        latency = 2 }
+
+let is_barrier (n : S.node) =
+  match n.S.insn with
+  | S.Branch _ -> true
+  | S.Raw i -> I.is_branch i || (match i with I.Call_pal _ -> true | _ -> false)
+  | S.Use { insn; _ } -> I.is_branch insn
+  | _ -> false
+
+let schedule_run (nodes : S.node list) =
+  match nodes with
+  | [] | [ _ ] -> nodes
+  | _ ->
+      let arr = Array.of_list nodes in
+      let descs =
+        Array.mapi
+          (fun i (n : S.node) ->
+            let d = node_of_sinsn n.S.insn in
+            (* a labelled node leads the run and cannot move *)
+            if i = 0 && n.S.labels <> [] then { d with Isa.Schedule.barrier = true }
+            else d)
+          arr
+      in
+      let perm = Isa.Schedule.order descs in
+      assert (Isa.Schedule.is_valid_order descs perm);
+      Array.to_list (Array.map (fun i -> arr.(i)) perm)
+
+let run (program : S.program) =
+  Array.iter
+    (fun (proc : S.proc) ->
+      let out = ref [] in
+      let cur = ref [] in
+      let flush () =
+        if !cur <> [] then begin
+          out := List.rev_append (schedule_run (List.rev !cur)) !out;
+          cur := []
+        end
+      in
+      List.iter
+        (fun (n : S.node) ->
+          if n.S.labels <> [] then begin
+            (* a labelled node starts a new run (and leads it) *)
+            flush ();
+            if is_barrier n then out := n :: !out else cur := [ n ]
+          end
+          else if is_barrier n then begin
+            flush ();
+            out := n :: !out
+          end
+          else cur := n :: !cur)
+        proc.S.body;
+      flush ();
+      proc.S.body <- List.rev !out)
+    program.S.procs

@@ -1,0 +1,10 @@
+(** Link-time rescheduling (the optional final step of OM-full).
+
+    The code OM starts with was pipeline-scheduled at compile time in the
+    presence of a large number of address loads that OM has since removed;
+    rescheduling each basic block afterwards may recover latency slots.
+    Straight-line runs are re-ordered with the same list scheduler the
+    compiler uses; a node carrying a label leads its run and never moves
+    (branches into a run must still land on the instruction they named). *)
+
+val run : Symbolic.program -> unit

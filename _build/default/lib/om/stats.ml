@@ -1,0 +1,89 @@
+type t = {
+  mutable insns_before : int;
+  mutable insns_after : int;
+  mutable nops_added : int;
+  mutable insns_deleted : int;
+  mutable addr_loads : int;
+  mutable addr_converted : int;
+  mutable addr_nullified : int;
+  mutable const_loads : int;
+  mutable calls : int;
+  mutable calls_pv_before : int;
+  mutable calls_pv_after : int;
+  mutable calls_reset_before : int;
+  mutable calls_reset_after : int;
+  mutable jsr_before : int;
+  mutable jsr_after : int;
+  mutable gp_setups_deleted : int;
+  mutable gat_bytes_before : int;
+  mutable gat_bytes_after : int;
+}
+
+let create () =
+  { insns_before = 0;
+    insns_after = 0;
+    nops_added = 0;
+    insns_deleted = 0;
+    addr_loads = 0;
+    addr_converted = 0;
+    addr_nullified = 0;
+    const_loads = 0;
+    calls = 0;
+    calls_pv_before = 0;
+    calls_pv_after = 0;
+    calls_reset_before = 0;
+    calls_reset_after = 0;
+    jsr_before = 0;
+    jsr_after = 0;
+    gp_setups_deleted = 0;
+    gat_bytes_before = 0;
+    gat_bytes_after = 0 }
+
+let measure_before (program : Symbolic.program) (als : Analysis.t) t =
+  t.insns_before <- Symbolic.static_insn_count program;
+  Symbolic.iter_nodes program (fun _proc n ->
+      match n.Symbolic.insn with
+      | Symbolic.Gatload { key = Symbolic.Paddr _; _ } ->
+          t.addr_loads <- t.addr_loads + 1
+      | Symbolic.Gatload { key = Symbolic.Pconst _; _ } ->
+          t.const_loads <- t.const_loads + 1
+      | _ -> ());
+  List.iter
+    (fun (cs : Analysis.callsite) ->
+      t.calls <- t.calls + 1;
+      (match cs.cs_kind with
+      | Analysis.Direct { via = `Jsr _; _ } ->
+          t.calls_pv_before <- t.calls_pv_before + 1;
+          t.jsr_before <- t.jsr_before + 1
+      | Analysis.Indirect ->
+          t.calls_pv_before <- t.calls_pv_before + 1;
+          t.jsr_before <- t.jsr_before + 1
+      | Analysis.Direct { via = `Bsr; _ } -> ());
+      if Option.is_some cs.cs_reset then
+        t.calls_reset_before <- t.calls_reset_before + 1)
+    als.Analysis.callsites
+
+let frac_addr_removed t =
+  if t.addr_loads = 0 then (0., 0.)
+  else
+    ( float_of_int t.addr_converted /. float_of_int t.addr_loads,
+      float_of_int t.addr_nullified /. float_of_int t.addr_loads )
+
+let frac_insns_nullified t =
+  if t.insns_before = 0 then 0.
+  else
+    float_of_int (t.nops_added + t.insns_deleted)
+    /. float_of_int t.insns_before
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>insns: %d -> %d (%d nop'd, %d deleted)@,\
+     address loads: %d (%d converted, %d nullified); %d constant loads@,\
+     calls: %d (pv %d -> %d, reset %d -> %d, jsr %d -> %d)@,\
+     gp setups deleted: %d@,\
+     GAT bytes: %d -> %d@]"
+    t.insns_before t.insns_after t.nops_added t.insns_deleted t.addr_loads
+    t.addr_converted t.addr_nullified t.const_loads t.calls
+    t.calls_pv_before t.calls_pv_after t.calls_reset_before
+    t.calls_reset_after t.jsr_before t.jsr_after t.gp_setups_deleted
+    t.gat_bytes_before t.gat_bytes_after

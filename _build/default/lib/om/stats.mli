@@ -1,0 +1,44 @@
+(** Optimization statistics — the raw material for every figure of the
+    paper's §5.1.
+
+    "Address loads" are [Gatload]s whose pool entry is an address (constant
+    pool loads are tallied separately). A load is {e converted} when it
+    becomes a load-address operation ([lda]/[ldah] forms), {e nullified}
+    when it becomes a no-op or is deleted outright. *)
+
+type t = {
+  mutable insns_before : int;
+  mutable insns_after : int;
+  mutable nops_added : int;
+  mutable insns_deleted : int;
+  mutable addr_loads : int;
+  mutable addr_converted : int;
+  mutable addr_nullified : int;
+  mutable const_loads : int;
+  mutable calls : int;
+  mutable calls_pv_before : int;
+  mutable calls_pv_after : int;
+  mutable calls_reset_before : int;
+  mutable calls_reset_after : int;
+  mutable jsr_before : int;
+  mutable jsr_after : int;
+  mutable gp_setups_deleted : int;
+  mutable gat_bytes_before : int;
+  mutable gat_bytes_after : int;
+}
+
+val create : unit -> t
+
+val measure_before : Symbolic.program -> Analysis.t -> t -> unit
+(** Fill the [*_before], [addr_loads], [const_loads] and [calls] fields
+    from the untransformed program. A call site "requires a PV load" when
+    it is a GAT-mediated [jsr] or an indirect call; it "requires GP-reset
+    code" when a GPDISP-linked pair is anchored at its return point. *)
+
+val frac_addr_removed : t -> float * float
+(** (converted, nullified) as fractions of [addr_loads]. *)
+
+val frac_insns_nullified : t -> float
+(** (nops added + deleted) / static instructions before. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+module I = Isa.Insn
+module R = Isa.Reg
+
+type issue = { at : int; what : string }
+
+let pp_issue ppf i = Format.fprintf ppf "%#x: %s" i.at i.what
+
+let image (img : Linker.Image.t) =
+  let issues = ref [] in
+  let problem at fmt =
+    Format.kasprintf (fun what -> issues := { at; what } :: !issues) fmt
+  in
+  match Isa.Decode.of_bytes img.Linker.Image.text with
+  | Error e ->
+      [ { at = img.text_base;
+          what = Format.asprintf "text does not decode: %a" Isa.Decode.pp_error e } ]
+  | Ok insns_list ->
+      let insns = Array.of_list insns_list in
+      let text_end = img.text_base + (4 * Array.length insns) in
+      let data_end = img.data_base + Bytes.length img.Linker.Image.data in
+      let proc_of addr = Linker.Image.proc_containing img addr in
+      (* entry *)
+      (match proc_of img.entry with
+      | Some p when p.entry = img.entry -> ()
+      | _ -> problem img.entry "entry point is not a procedure entry");
+      (* legitimate cross-procedure entry points: the entry itself, or the
+         instruction just past an entry GP-setup pair — in either case
+         possibly preceded by alignment no-ops *)
+      let only_nops_between a b =
+        let rec go addr =
+          addr >= b
+          || (I.is_nop insns.((addr - img.text_base) / 4) && go (addr + 4))
+        in
+        a <= b && go a
+      in
+      let valid_cross_target (p : Linker.Image.proc_info) target =
+        only_nops_between p.entry target
+        || (p.gp_setup_at_entry && only_nops_between (p.entry + 8) target)
+      in
+      Array.iter
+        (fun (p : Linker.Image.proc_info) ->
+          let first = (p.entry - img.text_base) / 4 in
+          let count = p.size / 4 in
+          (* the gp_setup_at_entry flag must match the bytes *)
+          (if p.gp_setup_at_entry then
+             match (insns.(first), insns.(first + 1)) with
+             | I.Ldah { ra = r1; _ }, I.Lda { ra = r2; rb; _ }
+               when R.equal r1 R.gp && R.equal r2 R.gp && R.equal rb R.gp -> ()
+             | _ ->
+                 problem p.entry "%s: gp_setup_at_entry but no pair at entry"
+                   p.name);
+          for k = first to first + count - 1 do
+            let addr = img.text_base + (4 * k) in
+            match insns.(k) with
+            | I.Br { disp; _ } | I.Bsr { disp; _ } | I.Bcond { disp; _ } -> (
+                let target = addr + 4 + (4 * disp) in
+                if target < img.text_base || target >= text_end then
+                  problem addr "branch target %#x outside text" target
+                else
+                  match proc_of target with
+                  | Some tp when String.equal tp.name p.name -> ()
+                  | Some tp ->
+                      if not (valid_cross_target tp target) then
+                        problem addr
+                          "branch into the middle of %s (target %#x, entry %#x)"
+                          tp.name target tp.entry
+                  | None ->
+                      problem addr "branch target %#x in no procedure" target)
+            | I.Ldq { rb; disp; _ } when R.equal rb R.gp ->
+                let a = p.gp_value + disp in
+                if a < img.data_base || a + 8 > data_end then
+                  problem addr "gp-relative load from %#x outside data" a
+            | I.Stq { rb; disp; _ } when R.equal rb R.gp ->
+                let a = p.gp_value + disp in
+                if a < img.data_base || a + 8 > data_end then
+                  problem addr "gp-relative store to %#x outside data" a
+            | I.Lda { ra; rb; disp } when R.equal rb R.gp && not (R.equal ra R.gp)
+              ->
+                let a = p.gp_value + disp in
+                if a < img.data_base || a >= data_end then
+                  problem addr "gp-relative address %#x outside data" a
+            | I.Ldah { ra; rb; disp = hi } when R.equal ra R.gp && R.equal rb R.pv
+              -> (
+                (* a prologue GP setup: its pair must recompute gp_value *)
+                let rec find_lo j =
+                  if j >= first + count then None
+                  else
+                    match insns.(j) with
+                    | I.Lda { ra; rb; disp }
+                      when R.equal ra R.gp && R.equal rb R.gp -> Some disp
+                    | _ -> find_lo (j + 1)
+                in
+                match find_lo (k + 1) with
+                | Some lo ->
+                    let computed = p.entry + (hi * 65536) + lo in
+                    if computed <> p.gp_value then
+                      problem addr
+                        "%s: GP setup computes %#x but descriptor says %#x"
+                        p.name computed p.gp_value
+                | None -> problem addr "%s: ldah gp,(pv) without its lda" p.name)
+            | _ -> ()
+          done)
+        img.procs;
+      List.rev !issues
+
+let check img =
+  match image img with
+  | [] -> Ok ()
+  | issues ->
+      let head = List.filteri (fun i _ -> i < 5) issues in
+      Error
+        (Format.asprintf "%d issue(s): %a"
+           (List.length issues)
+           (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+              pp_issue)
+           head)

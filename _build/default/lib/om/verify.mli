@@ -1,0 +1,29 @@
+(** An independent checker for linked images.
+
+    The optimizer rewrites machine code wholesale, so a second pair of eyes
+    is cheap insurance: [Verify.image] re-derives structural facts from the
+    {e bytes} of a linked image (standard or optimized) and checks them
+    against the loader metadata, with no access to the symbolic form that
+    produced them. The tests run every link configuration through it.
+
+    Checks:
+    - the text decodes, and every PC-relative branch lands on an
+      instruction boundary inside the same procedure or on a procedure
+      entry / post-GP-setup point of another one;
+    - every GP-relative quadword load ([ldq rX, d(gp)]) falls inside the
+      image's data region;
+    - each procedure's GPDISP-style setup (an [ldah gp, hi(pv)] followed
+      somewhere by [lda gp, lo(gp)]) computes exactly the procedure's
+      recorded GP value — checked for prologues anchored on [pv];
+    - procedures marked [gp_setup_at_entry] really begin with the pair;
+    - the entry point is a known procedure. *)
+
+type issue = { at : int; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val image : Linker.Image.t -> issue list
+(** All problems found; the empty list means the image passed. *)
+
+val check : Linker.Image.t -> (unit, string) result
+(** [image] with the first few issues formatted into a message. *)

@@ -1,0 +1,1 @@
+lib/reports/figures.ml: Array Float Format List Measure Om String Workloads

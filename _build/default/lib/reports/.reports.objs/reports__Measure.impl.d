@@ -1,0 +1,1 @@
+lib/reports/measure.ml: Format Linker List Machine Minic Om Option Result Runtime String Sys Workloads

@@ -1,0 +1,1 @@
+lib/reports/measure.mli: Om Stdlib Workloads

@@ -1,0 +1,110 @@
+type run = {
+  level : Om.level;
+  stats : Om.Stats.t;
+  cycles : int;
+  insns : int;
+  output : string;
+}
+
+type result = {
+  bench : string;
+  build : Workloads.Suite.build;
+  std_cycles : int;
+  std_insns : int;
+  std_output : string;
+  runs : run list;
+  outputs_agree : bool;
+}
+
+let run_image image =
+  match Machine.Cpu.run image with
+  | Ok o ->
+      Ok
+        ( o.Machine.Cpu.stats.Machine.Cpu.cycles,
+          o.Machine.Cpu.stats.Machine.Cpu.insns,
+          o.Machine.Cpu.output )
+  | Error e -> Error (Format.asprintf "simulation fault: %a" Machine.Cpu.pp_error e)
+
+let run_benchmark ?(levels = Om.all_levels) build (b : Workloads.Programs.benchmark) =
+  let ( let* ) = Result.bind in
+  let* world = Workloads.Suite.resolve build b in
+  let* std = Linker.Link.link_resolved world in
+  let* std_cycles, std_insns, std_output = run_image std in
+  let* runs =
+    List.fold_left
+      (fun acc level ->
+        let* acc = acc in
+        let* { Om.image; stats } = Om.optimize_resolved level world in
+        let* cycles, insns, output = run_image image in
+        Ok ({ level; stats; cycles; insns; output } :: acc))
+      (Ok []) levels
+  in
+  let runs = List.rev runs in
+  Ok
+    { bench = b.Workloads.Programs.name;
+      build;
+      std_cycles;
+      std_insns;
+      std_output;
+      runs;
+      outputs_agree =
+        List.for_all (fun r -> String.equal r.output std_output) runs }
+
+let improvement result level =
+  match List.find_opt (fun r -> r.level = level) result.runs with
+  | Some r ->
+      100.
+      *. float_of_int (result.std_cycles - r.cycles)
+      /. float_of_int result.std_cycles
+  | None -> 0.
+
+let stats_of result level =
+  Option.map (fun r -> r.stats)
+    (List.find_opt (fun r -> r.level = level) result.runs)
+
+type timing = {
+  t_std_link : float;
+  t_interproc : float;
+  t_noopt : float;
+  t_simple : float;
+  t_full : float;
+  t_full_sched : float;
+}
+
+let time_once f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+(* best of three, to damp GC noise *)
+let time3 f = min (time_once f) (min (time_once f) (time_once f))
+
+let time_builds (b : Workloads.Programs.benchmark) =
+  let units = Workloads.Suite.compile Workloads.Suite.Compile_each b in
+  let archives = [ Runtime.libstd () ] in
+  let om_time level =
+    time3 (fun () ->
+        match Om.link ~level units ~archives with
+        | Ok _ -> ()
+        | Error m -> failwith m)
+  in
+  { t_std_link =
+      time3 (fun () ->
+          match Linker.Link.link units ~archives with
+          | Ok _ -> ()
+          | Error m -> failwith m);
+    t_interproc =
+      time3 (fun () ->
+          let merged =
+            Minic.Driver.compile_merged ~opt:Minic.Driver.O2
+              ~prelude:Runtime.prelude
+              ~name:(b.Workloads.Programs.name ^ "_all.o")
+              b.Workloads.Programs.sources
+          in
+          match Linker.Link.link [ merged ] ~archives with
+          | Ok _ -> ()
+          | Error m -> failwith m);
+    t_noopt = om_time Om.No_opt;
+    t_simple = om_time Om.Simple;
+    t_full = om_time Om.Full;
+    t_full_sched = om_time Om.Full_sched }

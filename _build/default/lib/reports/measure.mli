@@ -1,0 +1,47 @@
+(** Running the paper's measurement matrix.
+
+    For one benchmark and build style this produces, per optimization
+    level: the optimizer's static statistics, the simulated dynamic cycle
+    count, and a check that the program output is bit-identical to the
+    standard link's. *)
+
+type run = {
+  level : Om.level;
+  stats : Om.Stats.t;
+  cycles : int;
+  insns : int;
+  output : string;
+}
+
+type result = {
+  bench : string;
+  build : Workloads.Suite.build;
+  std_cycles : int;
+  std_insns : int;
+  std_output : string;
+  runs : run list;          (** one per {!Om.all_levels} *)
+  outputs_agree : bool;
+}
+
+val run_benchmark :
+  ?levels:Om.level list -> Workloads.Suite.build -> Workloads.Programs.benchmark ->
+  (result, string) Stdlib.result
+
+val improvement : result -> Om.level -> float
+(** Percent cycle improvement of a level over the standard link. *)
+
+val stats_of : result -> Om.level -> Om.Stats.t option
+
+type timing = {
+  t_std_link : float;       (** standard link, seconds *)
+  t_interproc : float;      (** compile-all from source + standard link *)
+  t_noopt : float;
+  t_simple : float;
+  t_full : float;
+  t_full_sched : float;
+}
+
+val time_builds : Workloads.Programs.benchmark -> timing
+(** Wall-clock the six build paths of the paper's Figure 7 (objects are
+    pre-compiled for every column except the interprocedural build, which
+    compiles from source). *)

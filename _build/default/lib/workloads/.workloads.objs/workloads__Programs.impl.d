@@ -1,0 +1,1 @@
+lib/workloads/programs.ml: List Progs_fp Progs_int String

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Hashtbl Linker List Minic Printf Programs Runtime

@@ -1,0 +1,31 @@
+type benchmark = {
+  name : string;
+  sources : (string * string) list;
+}
+
+let mk (name, sources) = { name; sources }
+
+let all =
+  List.map mk
+    [ Progs_fp.alvinn;
+      Progs_int.compress;
+      Progs_fp.doduc;
+      Progs_fp.ear;
+      Progs_int.eqntott;
+      Progs_int.espresso;
+      Progs_fp.fpppp;
+      Progs_fp.hydro2d;
+      Progs_int.li;
+      Progs_fp.mdljdp2;
+      Progs_fp.mdljsp2;
+      Progs_fp.nasa7;
+      Progs_fp.ora;
+      Progs_int.sc;
+      Progs_int.spice;
+      Progs_fp.su2cor;
+      Progs_fp.swm256;
+      Progs_fp.tomcatv;
+      Progs_fp.wave5 ]
+
+let find name = List.find_opt (fun b -> String.equal b.name name) all
+let names = List.map (fun b -> b.name) all

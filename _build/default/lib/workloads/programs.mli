@@ -1,0 +1,24 @@
+(** The benchmark suite: 19 synthetic programs named after the SPEC92
+    benchmarks the paper measured (all of SPEC92 except [gcc], which the
+    authors could obtain only in 32-bit mode).
+
+    Each program is written in minic as several source modules — so the
+    "compile-each" and "compile-all" build styles genuinely differ — and
+    leans on the pre-compiled [libstd] runtime for division, fixed-point
+    math, random numbers, I/O and allocation, reproducing the library-call
+    density the paper's analysis highlights. Every program prints a small
+    deterministic checksum; the test suite requires the output to be
+    identical across every link/optimization configuration. *)
+
+type benchmark = {
+  name : string;
+  sources : (string * string) list;  (** (module name, minic source) *)
+}
+
+val all : benchmark list
+(** In the paper's figure order: alvinn, compress, doduc, ear, eqntott,
+    espresso, fpppp, hydro2d, li, mdljdp2, mdljsp2, nasa7, ora, sc, spice,
+    su2cor, swm256, tomcatv, wave5. *)
+
+val find : string -> benchmark option
+val names : string list

@@ -1,0 +1,900 @@
+(* The floating-point half of the suite, in 16.16 fixed point: loop-heavy
+   numeric codes with dense library-call traffic (fx_mul/fx_div/fx_sin/...
+   are pre-compiled library routines, exactly the calls the paper says
+   interprocedural compilation cannot improve). Like the Fortran originals,
+   the kernels address their arrays as global COMMON-style data, so every
+   access is compiled through the global address table. *)
+
+let alvinn =
+  ( "alvinn",
+    [ ( "alvinn_net.mc",
+        {|
+// single hidden layer forward passes, fixed-point
+extern var input[];
+extern var w1[];
+extern var hidden[];
+extern var w2[];
+extern var output[];
+
+var act_sum = 0;
+
+static func sigmoid(x) {
+  // 1 / (1 + exp(-x)) in 16.16
+  var e = fx_exp(0 - x);
+  return fx_div(65536, 65536 + e);
+}
+
+func net_forward() {
+  var h = 0;
+  while (h < 16) {
+    var s = 0;
+    var i = 0;
+    while (i < 32) {
+      s = s + fx_mul(input[i], w1[h * 32 + i]);
+      i = i + 1;
+    }
+    hidden[h] = sigmoid(s);
+    h = h + 1;
+  }
+  var o = 0;
+  while (o < 8) {
+    var s2 = 0;
+    var j = 0;
+    while (j < 16) {
+      s2 = s2 + fx_mul(hidden[j], w2[o * 16 + j]);
+      j = j + 1;
+    }
+    output[o] = sigmoid(s2);
+    act_sum = act_sum + output[o];
+    o = o + 1;
+  }
+  return act_sum;
+}
+|}
+      );
+      ( "alvinn_main.mc",
+        {|
+extern func net_forward();
+
+var input[32];
+var w1[512];
+var hidden[16];
+var w2[128];
+var output[8];
+
+func main() {
+  srand(42);
+  var i = 0;
+  while (i < 32) { input[i] = rand_range(131072) - 65536; i = i + 1; }
+  i = 0;
+  while (i < 512) { w1[i] = rand_range(32768) - 16384; i = i + 1; }
+  i = 0;
+  while (i < 128) { w2[i] = rand_range(32768) - 16384; i = i + 1; }
+  var epoch = 0;
+  var last = 0;
+  while (epoch < 8) {
+    last = net_forward();
+    // drift the inputs a little
+    input[epoch % 32] = input[epoch % 32] + 1024;
+    epoch = epoch + 1;
+  }
+  io_put_labeled("acts", last);
+  io_put_labeled("out0", output[0]);
+  io_put_labeled("out7", output[7]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let doduc =
+  ( "doduc",
+    [ ( "doduc_mc.mc",
+        {|
+// Monte Carlo nuclear reactor kernel: lots of small procedures
+static func collide(e, mu) {
+  return fx_mul(e, 58982 + fx_mul(mu, 3277));  // lose ~10% per collision
+}
+
+static func scatter_angle(s) {
+  return fx_sin(s % 205887);  // s mod ~pi in 16.16
+}
+
+func track_one(e0) {
+  var e = e0;
+  var steps = 0;
+  while (e > 6553) {  // until below 0.1
+    var mu = scatter_angle(e);
+    e = collide(e, mu);
+    steps = steps + 1;
+    if (steps > 40) { e = 0; }
+  }
+  return steps;
+}
+|}
+      );
+      ( "doduc_main.mc",
+        {|
+extern func track_one(e0);
+
+var histogram[64];
+
+func main() {
+  srand(7);
+  var total = 0;
+  var n = 0;
+  while (n < 80) {
+    var e0 = 6553600 + rand_range(655360);
+    var steps = track_one(e0);
+    var bin = steps % 64;
+    histogram[bin] = histogram[bin] + 1;
+    total = total + steps;
+    n = n + 1;
+  }
+  io_put_labeled("total", total);
+  io_put_labeled("h20", histogram[20]);
+  io_put_labeled("h31", histogram[31]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let ear =
+  ( "ear",
+    [ ( "ear_filter.mc",
+        {|
+// cochlea model: a bank of second-order filters over a synthetic signal
+extern var signal[];
+extern var state[];
+extern var coeff[];
+extern var energy[];
+
+func filter_bank(n) {
+  var ch = 0;
+  while (ch < 16) {
+    var a = coeff[ch * 2];
+    var b = coeff[ch * 2 + 1];
+    var y1 = state[ch * 2];
+    var y2 = state[ch * 2 + 1];
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+      var y = fx_mul(a, y1) - fx_mul(b, y2) + signal[i];
+      y2 = y1;
+      y1 = y;
+      if (y < 0) { acc = acc - y; } else { acc = acc + y; }
+      i = i + 1;
+    }
+    state[ch * 2] = y1;
+    state[ch * 2 + 1] = y2;
+    energy[ch] = acc >> 8;
+    ch = ch + 1;
+  }
+  return 0;
+}
+|}
+      );
+      ( "ear_main.mc",
+        {|
+extern func filter_bank(n);
+
+var signal[256];
+var state[32];
+var coeff[32];
+var energy[16];
+
+func main() {
+  var ch = 0;
+  while (ch < 16) {
+    coeff[ch * 2] = 49152 + ch * 512;      // a
+    coeff[ch * 2 + 1] = 16384 + ch * 256;  // b
+    ch = ch + 1;
+  }
+  var frame = 0;
+  var sum = 0;
+  while (frame < 6) {
+    var i = 0;
+    while (i < 256) {
+      signal[i] = fx_sin((frame * 256 + i) * 1608 % 411774);
+      i = i + 1;
+    }
+    filter_bank(256);
+    sum = sum + energy[3] + energy[11];
+    frame = frame + 1;
+  }
+  io_put_labeled("sum", sum);
+  io_put_labeled("e0", energy[0]);
+  io_put_labeled("e15", energy[15]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let fpppp =
+  ( "fpppp",
+    [ ( "fpppp_kern.mc",
+        {|
+// two-electron integral kernel: very large basic blocks of fx arithmetic
+extern var fock[];
+
+var acc = 0;
+
+func quartet(a, b, c, d) {
+  var p1 = fx_mul(a, b);
+  var p2 = fx_mul(c, d);
+  var p3 = fx_mul(a, c);
+  var p4 = fx_mul(b, d);
+  var p5 = fx_mul(a, d);
+  var p6 = fx_mul(b, c);
+  var s1 = p1 + p2 - p3;
+  var s2 = p4 + p5 - p6;
+  var s3 = fx_mul(s1, s2);
+  var s4 = fx_mul(p1 - p4, p2 - p5);
+  var s5 = fx_mul(p3 + p6, s1 + s2);
+  var t1 = s3 + (s4 >> 1) - (s5 >> 2);
+  var t2 = fx_mul(t1, 60293);
+  var t3 = t2 + fx_mul(s3, 3411) - fx_mul(s4, 1229);
+  var t4 = t3 + (p1 >> 3) + (p2 >> 3) - (p3 >> 4);
+  var t5 = fx_mul(t4, 65011) + fx_mul(s5, 509);
+  return t5;
+}
+
+func sweep_shell(a, b, ia, ib) {
+  var g = quartet(a, b, a + 327, b + 721);
+  fock[(ia + ib) % 64] = fock[(ia + ib) % 64] + (g >> 4);
+  acc = acc + (g >> 8);
+  return acc;
+}
+|}
+      );
+      ( "fpppp_main.mc",
+        {|
+extern func quartet(a, b, c, d);
+extern func sweep_shell(a, b, ia, ib);
+
+var basis[40];
+var fock[64];
+
+func main() {
+  var i = 0;
+  while (i < 40) { basis[i] = 32768 + i * 771; i = i + 1; }
+  var pass = 0;
+  var last = 0;
+  while (pass < 3) {
+    var a = 0;
+    while (a < 20) {
+      var b = 0;
+      while (b < 20) {
+        last = sweep_shell(basis[a], basis[b], a, b);
+        b = b + 1;
+      }
+      a = a + 1;
+    }
+    pass = pass + 1;
+  }
+  io_put_labeled("acc", last);
+  io_put_labeled("f0", fock[0]);
+  io_put_labeled("f63", fock[63]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let hydro2d =
+  ( "hydro2d",
+    [ ( "hydro_step.mc",
+        {|
+// Navier-Stokes-ish 2D stencil relaxation on a 34x34 grid (flattened)
+extern var ga[];
+extern var gb[];
+
+func relax_ab(w) {
+  var r = 1;
+  while (r < 33) {
+    var c = 1;
+    while (c < 33) {
+      var k = r * 34 + c;
+      var nb = ga[k - 1] + ga[k + 1] + ga[k - 34] + ga[k + 34];
+      gb[k] = ga[k] + fx_mul(w, (nb >> 2) - ga[k]);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return 0;
+}
+
+func relax_ba(w) {
+  var r = 1;
+  while (r < 33) {
+    var c = 1;
+    while (c < 33) {
+      var k = r * 34 + c;
+      var nb = gb[k - 1] + gb[k + 1] + gb[k - 34] + gb[k + 34];
+      ga[k] = gb[k] + fx_mul(w, (nb >> 2) - gb[k]);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return 0;
+}
+
+func grid_checksum() {
+  var s = 0;
+  var i = 0;
+  while (i < 1156) {
+    s = s + (ga[i] >> 6);
+    i = i + 1;
+  }
+  return s;
+}
+|}
+      );
+      ( "hydro_main.mc",
+        {|
+extern func relax_ab(w);
+extern func relax_ba(w);
+extern func grid_checksum();
+
+var ga[1156];
+var gb[1156];
+
+func main() {
+  var i = 0;
+  while (i < 1156) {
+    ga[i] = ((i * 2654435761) >> 8) & 65535;
+    i = i + 1;
+  }
+  var it = 0;
+  while (it < 30) {
+    relax_ab(45875);
+    relax_ba(45875);
+    it = it + 1;
+  }
+  io_put_labeled("sum", grid_checksum());
+  io_put_labeled("mid", ga[17 * 34 + 17]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let mdljdp2 =
+  ( "mdljdp2",
+    [ ( "mdl_force.mc",
+        {|
+// molecular dynamics pair forces (double-precision analogue)
+extern var px[];
+extern var py[];
+extern var pf[];
+
+static func pair_force(d2) {
+  // Lennard-Jones-ish: 1/d^4 - 1/d^2 in fixed point, clamped
+  if (d2 < 1024) { d2 = 1024; }
+  var inv2 = fx_div(65536, d2);
+  var inv4 = fx_mul(inv2, inv2);
+  return inv4 - (inv2 >> 2);
+}
+
+func forces(n) {
+  var i = 0;
+  while (i < n) { pf[i] = 0; i = i + 1; }
+  i = 0;
+  var virial = 0;
+  while (i < n) {
+    var j = i + 1;
+    while (j < n) {
+      var dx = px[i] - px[j];
+      var dy = py[i] - py[j];
+      var d2 = fx_mul(dx, dx) + fx_mul(dy, dy);
+      var fm = pair_force(d2);
+      pf[i] = pf[i] + fm;
+      pf[j] = pf[j] - fm;
+      virial = virial + fx_mul(fm, d2);
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return virial;
+}
+|}
+      );
+      ( "mdl_main_dp.mc",
+        {|
+extern func forces(n);
+
+var px[36];
+var py[36];
+var pf[36];
+
+func main() {
+  srand(1234);
+  var i = 0;
+  while (i < 36) {
+    px[i] = rand_range(655360);
+    py[i] = rand_range(655360);
+    i = i + 1;
+  }
+  var step = 0;
+  var v = 0;
+  while (step < 10) {
+    v = forces(36);
+    i = 0;
+    while (i < 36) { px[i] = px[i] + (pf[i] >> 6); i = i + 1; }
+    step = step + 1;
+  }
+  io_put_labeled("virial", v);
+  io_put_labeled("x0", px[0]);
+  io_put_labeled("x35", px[35]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let mdljsp2 =
+  ( "mdljsp2",
+    [ ( "mdl_spring.mc",
+        {|
+// molecular dynamics, single-precision analogue: springs on a chain
+extern var cx[];
+extern var cv[];
+
+func spring_step(n, k) {
+  var e = 0;
+  var i = 1;
+  while (i < n - 1) {
+    var stretch = cx[i + 1] - (2 * cx[i]) + cx[i - 1];
+    var force = fx_mul(k, stretch);
+    cv[i] = cv[i] + (force >> 4);
+    e = e + iabs(force);
+    i = i + 1;
+  }
+  i = 1;
+  while (i < n - 1) {
+    cx[i] = cx[i] + (cv[i] >> 4);
+    i = i + 1;
+  }
+  return e;
+}
+|}
+      );
+      ( "mdl_main_sp.mc",
+        {|
+extern func spring_step(n, k);
+
+var cx[200];
+var cv[200];
+
+func main() {
+  var i = 0;
+  while (i < 200) {
+    cx[i] = (i << 16) + fx_sin(i * 6434);
+    i = i + 1;
+  }
+  var step = 0;
+  var e = 0;
+  while (step < 220) {
+    e = spring_step(200, 49152);
+    step = step + 1;
+  }
+  io_put_labeled("energy", e);
+  io_put_labeled("x100", cx[100]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let nasa7 =
+  ( "nasa7",
+    [ ( "nasa_mm.mc",
+        {|
+// kernel 1: matrix multiply (24x24) over COMMON-style matrices
+extern var ma[];
+extern var mb[];
+extern var mc[];
+
+func matmul(n) {
+  var i = 0;
+  while (i < n) {
+    var j = 0;
+    while (j < n) {
+      var s = 0;
+      var k = 0;
+      while (k < n) {
+        s = s + fx_mul(ma[i * n + k], mb[k * n + j]);
+        k = k + 1;
+      }
+      mc[i * n + j] = s;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+|}
+      );
+      ( "nasa_chol.mc",
+        {|
+// kernel 2: Cholesky-like column sweep
+extern var mc[];
+
+func colsweep(n) {
+  var j = 0;
+  var s = 0;
+  while (j < n) {
+    var d = mc[j * n + j];
+    if (d < 256) { d = 256; }
+    var i = j + 1;
+    while (i < n) {
+      mc[i * n + j] = fx_div(mc[i * n + j], d);
+      s = s + (mc[i * n + j] >> 8);
+      i = i + 1;
+    }
+    j = j + 1;
+  }
+  return s;
+}
+|}
+      );
+      ( "nasa_main.mc",
+        {|
+extern func matmul(n);
+extern func colsweep(n);
+
+var ma[576];
+var mb[576];
+var mc[576];
+
+func main() {
+  var i = 0;
+  while (i < 576) {
+    ma[i] = 65536 + ((i * 37) % 513) * 64;
+    mb[i] = 32768 + ((i * 61) % 301) * 128;
+    i = i + 1;
+  }
+  var r = 0;
+  while (r < 4) {
+    matmul(24);
+    r = r + 1;
+  }
+  var s = colsweep(24);
+  io_put_labeled("sweep", s);
+  io_put_labeled("c0", mc[0]);
+  io_put_labeled("clast", mc[575]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let ora =
+  ( "ora",
+    [ ( "ora_trace.mc",
+        {|
+// optical ray tracing through spherical surfaces: sqrt-heavy
+static func refract(h, r) {
+  var t = fx_div(h, r);
+  return fx_mul(t, 65536 - (fx_mul(t, t) >> 1));
+}
+
+func trace_ray(x, dirx, diry) {
+  var h = x;
+  var surf = 0;
+  while (surf < 8) {
+    var r = 131072 + surf * 16384;
+    var bend = refract(h, r);
+    diry = diry - bend;
+    h = h + fx_mul(diry, 32768);
+    var d2 = fx_mul(h, h) + fx_mul(dirx, dirx);
+    h = fx_sqrt(d2);
+    surf = surf + 1;
+  }
+  return h;
+}
+|}
+      );
+      ( "ora_main.mc",
+        {|
+extern func trace_ray(x, dirx, diry);
+
+var heights[80];
+
+func main() {
+  var i = 0;
+  var sum = 0;
+  while (i < 80) {
+    var h = trace_ray((i % 40) * 3277, 49152, ((i * 7) % 64) * 1024);
+    heights[i] = h;
+    sum = sum + (h >> 6);
+    i = i + 1;
+  }
+  io_put_labeled("sum", sum);
+  io_put_labeled("h0", heights[0]);
+  io_put_labeled("h79", heights[79]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let su2cor =
+  ( "su2cor",
+    [ ( "su2_lattice.mc",
+        {|
+// quark-gluon lattice sweep: gauge links updated with random kicks
+extern var links[];
+
+func sweep(n, beta) {
+  var action = 0;
+  var i = 0;
+  while (i < n) {
+    var staple = links[(i + 1) & 127] + links[(i + n - 1) & 127];
+    var kick = rand_range(8192) - 4096;
+    var trial = links[i] + kick;
+    var dS = fx_mul(beta, fx_mul(trial, staple) - fx_mul(links[i], staple)) >> 8;
+    if (dS < 0) {
+      links[i] = trial;
+    } else {
+      if (rand_range(65536) < fx_exp(0 - (dS % 131072)) ) {
+        links[i] = trial;
+      }
+    }
+    action = action + (fx_mul(links[i], staple) >> 8);
+    i = i + 1;
+  }
+  return action;
+}
+|}
+      );
+      ( "su2_main.mc",
+        {|
+extern func sweep(n, beta);
+
+var links[128];
+
+func main() {
+  srand(271828);
+  var i = 0;
+  while (i < 128) { links[i] = 65536; i = i + 1; }
+  var s = 0;
+  var it = 0;
+  while (it < 12) {
+    s = sweep(128, 19661);
+    it = it + 1;
+  }
+  io_put_labeled("action", s);
+  io_put_labeled("l0", links[0]);
+  io_put_labeled("l127", links[127]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let swm256 =
+  ( "swm256",
+    [ ( "swm_update.mc",
+        {|
+// shallow water equations on a 26x26 grid: three-field stencil update
+extern var wu[];
+extern var wv[];
+extern var wp[];
+
+func step_uv(n) {
+  var r = 1;
+  while (r < n - 1) {
+    var c = 1;
+    while (c < n - 1) {
+      var k = r * n + c;
+      wu[k] = wu[k] + ((wp[k - 1] - wp[k + 1]) >> 3);
+      wv[k] = wv[k] + ((wp[k - n] - wp[k + n]) >> 3);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return 0;
+}
+
+func step_p(n) {
+  var s = 0;
+  var r = 1;
+  while (r < n - 1) {
+    var c = 1;
+    while (c < n - 1) {
+      var k = r * n + c;
+      wp[k] = wp[k] - ((wu[k + 1] - wu[k - 1] + wv[k + n] - wv[k - n]) >> 3);
+      s = s + (wp[k] >> 10);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return s;
+}
+|}
+      );
+      ( "swm_main.mc",
+        {|
+extern func step_uv(n);
+extern func step_p(n);
+
+var wu[676];
+var wv[676];
+var wp[676];
+
+func main() {
+  var i = 0;
+  while (i < 676) {
+    wp[i] = 6553600 + fx_sin((i * 1608) % 411774);
+    i = i + 1;
+  }
+  var t = 0;
+  var s = 0;
+  while (t < 45) {
+    step_uv(26);
+    s = step_p(26);
+    t = t + 1;
+  }
+  io_put_labeled("psum", s);
+  io_put_labeled("u50", wu[50]);
+  io_put_labeled("p300", wp[300]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let tomcatv =
+  ( "tomcatv",
+    [ ( "tomcatv_mesh.mc",
+        {|
+// vectorized mesh generation: coordinate relaxation with residuals
+extern var mx[];
+extern var my[];
+extern var mrx[];
+extern var mry[];
+
+func mesh_pass(n) {
+  var maxr = 0;
+  var r = 1;
+  while (r < n - 1) {
+    var c = 1;
+    while (c < n - 1) {
+      var k = r * n + c;
+      var xx = mx[k - 1] + mx[k + 1] + mx[k - n] + mx[k + n] - (4 * mx[k]);
+      var yy = my[k - 1] + my[k + 1] + my[k - n] + my[k + n] - (4 * my[k]);
+      mrx[k] = xx;
+      mry[k] = yy;
+      var m = iabs(xx) + iabs(yy);
+      if (m > maxr) { maxr = m; }
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return maxr;
+}
+
+func apply_residual(n, w) {
+  var i = 0;
+  var total = n * n;
+  while (i < total) {
+    mx[i] = mx[i] + fx_mul(w, mrx[i]);
+    my[i] = my[i] + fx_mul(w, mry[i]);
+    i = i + 1;
+  }
+  return 0;
+}
+|}
+      );
+      ( "tomcatv_main.mc",
+        {|
+extern func mesh_pass(n);
+extern func apply_residual(n, w);
+
+var mx[676];
+var my[676];
+var mrx[676];
+var mry[676];
+
+func main() {
+  var r = 0;
+  while (r < 26) {
+    var c = 0;
+    while (c < 26) {
+      mx[r * 26 + c] = (c << 16) + ((r * c) << 8);
+      my[r * 26 + c] = (r << 16) + ((r + c) << 7);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  var it = 0;
+  var res = 0;
+  while (it < 30) {
+    res = mesh_pass(26);
+    apply_residual(26, 13107);
+    it = it + 1;
+  }
+  io_put_labeled("res", res);
+  io_put_labeled("x338", mx[338]);
+  io_put_labeled("y338", my[338]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let wave5 =
+  ( "wave5",
+    [ ( "wave_particles.mc",
+        {|
+// particle-in-cell: scatter charge, field solve, gather forces
+extern var pos[];
+extern var vel[];
+extern var field[];
+
+func scatter(q, np, n) {
+  var i = 0;
+  while (i < n) { field[i] = 0; i = i + 1; }
+  i = 0;
+  while (i < np) {
+    var cell = (pos[i] >> 16) & 63;
+    field[cell] = field[cell] + q;
+    i = i + 1;
+  }
+  return 0;
+}
+
+func gather(np, n) {
+  var ke = 0;
+  var i = 0;
+  while (i < np) {
+    var cell = (pos[i] >> 16) & 63;
+    var e = field[(cell + 1) & 63] - field[(cell + n - 1) & 63];
+    vel[i] = vel[i] + (e << 6);
+    pos[i] = pos[i] + (vel[i] >> 4);
+    ke = ke + (iabs(vel[i]) >> 4);
+    i = i + 1;
+  }
+  return ke;
+}
+|}
+      );
+      ( "wave_main.mc",
+        {|
+extern func scatter(q, np, n);
+extern func gather(np, n);
+
+var pos[300];
+var vel[300];
+var field[64];
+
+func main() {
+  srand(5150);
+  var i = 0;
+  while (i < 300) {
+    pos[i] = rand_range(64 << 16);
+    vel[i] = rand_range(2048) - 1024;
+    i = i + 1;
+  }
+  var t = 0;
+  var ke = 0;
+  while (t < 40) {
+    scatter(3, 300, 64);
+    ke = gather(300, 64);
+    t = t + 1;
+  }
+  io_put_labeled("ke", ke);
+  io_put_labeled("f10", field[10]);
+  io_put_labeled("p0", pos[0]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let all =
+  [ alvinn; doduc; ear; fpppp; hydro2d; mdljdp2; mdljsp2; nasa7; ora; su2cor;
+    swm256; tomcatv; wave5 ]

@@ -1,0 +1,507 @@
+(* The integer half of the suite: call-dense, pointer- and hash-heavy
+   codes, several calling through procedure variables (destinations the
+   link-time optimizer cannot examine). *)
+
+let compress =
+  ( "compress",
+    [ ( "comp_hash.mc",
+        {|
+// LZW-style code table with open-addressing hash
+extern func table_reset();
+extern func table_lookup(prefix, ch);
+extern func table_insert(prefix, ch);
+
+var htab[4096];
+var codetab[4096];
+var next_code = 0;
+
+func table_reset() {
+  var i = 0;
+  while (i < 4096) { htab[i] = 0 - 1; codetab[i] = 0; i = i + 1; }
+  next_code = 256;
+  return 0;
+}
+
+static func hash_key(prefix, ch) {
+  var k = (prefix << 8) ^ ch;
+  return ((k * 2654435761) >> 12) & 4095;
+}
+
+func table_lookup(prefix, ch) {
+  var key = (prefix << 8) | ch;
+  var h = hash_key(prefix, ch);
+  var probes = 0;
+  while (probes < 4096) {
+    if (htab[h] == key) { return codetab[h]; }
+    if (htab[h] == 0 - 1) { return 0 - 1; }
+    h = (h + 1) & 4095;
+    probes = probes + 1;
+  }
+  return 0 - 1;
+}
+
+func table_insert(prefix, ch) {
+  var key = (prefix << 8) | ch;
+  var h = hash_key(prefix, ch);
+  while (htab[h] != 0 - 1) { h = (h + 1) & 4095; }
+  htab[h] = key;
+  codetab[h] = next_code;
+  next_code = next_code + 1;
+  return next_code;
+}
+|}
+      );
+      ( "comp_main.mc",
+        {|
+extern func table_reset();
+extern func table_lookup(prefix, ch);
+extern func table_insert(prefix, ch);
+extern var next_code;
+
+var text[2000];
+var out_codes = 0;
+var out_sum = 0;
+
+static func emit(code) {
+  out_codes = out_codes + 1;
+  out_sum = (out_sum + code) & 0xFFFFFF;
+  return 0;
+}
+
+func main() {
+  srand(99);
+  // synthetic text with repetition
+  var i = 0;
+  while (i < 2000) {
+    if (rand_range(4) == 0) { text[i] = rand_range(64) + 32; }
+    else { text[i] = ((i * 11) % 48) + 64; }
+    i = i + 1;
+  }
+  table_reset();
+  var prefix = text[0];
+  i = 1;
+  while (i < 2000) {
+    var ch = text[i];
+    var code = table_lookup(prefix, ch);
+    if (code >= 0) {
+      prefix = code;
+    } else {
+      emit(prefix);
+      if (next_code < 4000) { table_insert(prefix, ch); }
+      prefix = ch;
+    }
+    i = i + 1;
+  }
+  emit(prefix);
+  io_put_labeled("codes", out_codes);
+  io_put_labeled("sum", out_sum);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let eqntott =
+  ( "eqntott",
+    [ ( "eqn_terms.mc",
+        {|
+// truth-table term generation and comparison-driven sorting
+extern func cmp_terms(a, b);
+extern var terms[];
+
+func gen_terms(n, vars) {
+  var i = 0;
+  while (i < n) {
+    // evaluate a fixed boolean function on the bits of i
+    var x = i & ((1 << vars) - 1);
+    var f = ((x >> 2) & (x >> 1)) ^ (x & 1) ^ ((x >> 5) & 1);
+    terms[i] = (x << 4) | (f & 1);
+    i = i + 1;
+  }
+  return n;
+}
+
+func cmp_terms(a, b) {
+  var pa = a & 15;
+  var pb = b & 15;
+  if (pa != pb) { return pa - pb; }
+  return (a >> 4) - (b >> 4);
+}
+
+// insertion sort through a comparison procedure variable
+var cmp_fn = 0;
+
+func sort_terms(n) {
+  cmp_fn = &cmp_terms;
+  var i = 1;
+  while (i < n) {
+    var key = terms[i];
+    var j = i - 1;
+    var on = 1;
+    while (on) {
+      if (j >= 0) {
+        if (cmp_fn(terms[j], key) > 0) {
+          terms[j + 1] = terms[j];
+          j = j - 1;
+        } else { on = 0; }
+      } else { on = 0; }
+    }
+    terms[j + 1] = key;
+    i = i + 1;
+  }
+  return n;
+}
+|}
+      );
+      ( "eqn_main.mc",
+        {|
+extern func gen_terms(n, vars);
+extern func cmp_terms(a, b);
+extern func sort_terms(n);
+
+var terms[512];
+
+func main() {
+  gen_terms(512, 9);
+  // shuffle deterministically, then sort back
+  srand(31337);
+  var i = 0;
+  while (i < 511) {
+    var j = i + rand_range(512 - i);
+    var t = terms[i];
+    terms[i] = terms[j];
+    terms[j] = t;
+    i = i + 1;
+  }
+  sort_terms(512);
+  var sum = 0;
+  i = 0;
+  while (i < 512) { sum = sum + terms[i] * (i + 1); i = i + 1; }
+  io_put_labeled("sum", sum & 0xFFFFFFF);
+  io_put_labeled("t0", terms[0]);
+  io_put_labeled("t511", terms[511]);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let espresso =
+  ( "espresso",
+    [ ( "esp_cubes.mc",
+        {|
+// two-level boolean minimization over bit-vector cubes
+extern var onset[];
+
+func cube_count(n) {
+  var ones = 0;
+  var i = 0;
+  while (i < n) {
+    var w = onset[i];
+    while (w != 0) {
+      ones = ones + (w & 1);
+      w = (w >> 1) & 0x7FFFFFFFFFFFFFF;
+    }
+    i = i + 1;
+  }
+  return ones;
+}
+
+func expand(n, care) {
+  var changed = 0;
+  var i = 0;
+  while (i < n) {
+    var grown = onset[i] | ((onset[i] << 1) & care);
+    if (grown != onset[i]) { changed = changed + 1; }
+    onset[i] = grown;
+    i = i + 1;
+  }
+  return changed;
+}
+
+func irredundant(n) {
+  var removed = 0;
+  var i = 0;
+  while (i < n) {
+    var j = 0;
+    var covered = 0;
+    while (j < n) {
+      if (i != j) {
+        if ((onset[i] & onset[j]) == onset[i]) {
+          if (onset[j] != 0) { covered = 1; }
+        }
+      }
+      j = j + 1;
+    }
+    if (covered) {
+      if (onset[i] != 0) { onset[i] = 0; removed = removed + 1; }
+    }
+    i = i + 1;
+  }
+  return removed;
+}
+|}
+      );
+      ( "esp_main.mc",
+        {|
+extern func cube_count(n);
+extern func expand(n, care);
+extern func irredundant(n);
+
+var onset[160];
+
+func main() {
+  var i = 0;
+  while (i < 160) {
+    onset[i] = ((i * 2654435761) ^ (i << 17)) & 0xFFFFFFFFFF;
+    i = i + 1;
+  }
+  var pass = 0;
+  var removed = 0;
+  while (pass < 12) {
+    expand(160, 0xAAAAAAAAAA);
+    removed = removed + irredundant(160);
+    pass = pass + 1;
+  }
+  io_put_labeled("ones", cube_count(160));
+  io_put_labeled("removed", removed);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let li =
+  ( "li",
+    [ ( "li_cells.mc",
+        {|
+// a tiny lisp-ish evaluator over cons cells in allocated storage
+extern func cons(car, cdr);
+extern func car_of(c);
+extern func cdr_of(c);
+extern func make_list(n, step);
+
+var cell_count = 0;
+
+func cons(car, cdr) {
+  var c = alloc(2);
+  c[0] = car;
+  c[1] = cdr;
+  cell_count = cell_count + 1;
+  return c;
+}
+
+func car_of(c) { return c[0]; }
+func cdr_of(c) { return c[1]; }
+
+func make_list(n, step) {
+  var lst = 0;
+  var i = n;
+  while (i > 0) {
+    lst = cons(i * step, lst);
+    i = i - 1;
+  }
+  return lst;
+}
+|}
+      );
+      ( "li_eval.mc",
+        {|
+extern func cons(car, cdr);
+extern func car_of(c);
+extern func cdr_of(c);
+extern func make_list(n, step);
+
+// fold a list through a procedure variable (an "apply")
+func reduce(lst, f, acc) {
+  while (lst != 0) {
+    acc = f(acc, car_of(lst));
+    lst = cdr_of(lst);
+  }
+  return acc;
+}
+
+func add_op(a, b) { return a + b; }
+func mix_op(a, b) { return ((a * 31) + b) & 0xFFFFFFF; }
+
+func map_list(lst, f) {
+  if (lst == 0) { return 0; }
+  return cons(f(0, car_of(lst)), map_list(cdr_of(lst), f));
+}
+|}
+      );
+      ( "li_main.mc",
+        {|
+extern func cons(car, cdr);
+extern func make_list(n, step);
+extern func reduce(lst, f, acc);
+extern func add_op(a, b);
+extern func mix_op(a, b);
+extern func map_list(lst, f);
+
+var total = 0;
+
+func main() {
+  var round = 0;
+  while (round < 30) {
+    var lst = make_list(60, round + 1);
+    var doubled = map_list(lst, &add_op);
+    var s = reduce(lst, &add_op, 0);
+    var m = reduce(doubled, &mix_op, 1);
+    total = (total + s + m) & 0xFFFFFFF;
+    round = round + 1;
+  }
+  io_put_labeled("total", total);
+  io_put_labeled("allocs", alloc_total());
+  return 0;
+}
+|}
+      )
+    ] )
+
+let sc =
+  ( "sc",
+    [ ( "sc_cells.mc",
+        {|
+// spreadsheet recalculation: a grid of cells with formula kinds
+extern var vals[];
+extern var kind[];
+extern var arg1[];
+extern var arg2[];
+
+static func eval_cell(k, a, b) {
+  if (k == 0) { return a; }                 // constant
+  if (k == 1) { return a + b; }             // sum of two cells
+  if (k == 2) { return a * 2 - b; }
+  if (k == 3) { return imax(a, b); }
+  return imin(a, b);
+}
+
+func recalc(n) {
+  var changed = 0;
+  var i = 0;
+  while (i < n) {
+    var a = vals[arg1[i]];
+    var b = vals[arg2[i]];
+    var v = eval_cell(kind[i], a, b);
+    if (v != vals[i]) { changed = changed + 1; }
+    vals[i] = v;
+    i = i + 1;
+  }
+  return changed;
+}
+
+func sheet_sum(n) {
+  var s = 0;
+  var i = 0;
+  while (i < n) { s = (s + vals[i]) & 0xFFFFFFFF; i = i + 1; }
+  return s;
+}
+|}
+      );
+      ( "sc_main.mc",
+        {|
+extern func recalc(n);
+extern func sheet_sum(n);
+
+var vals[600];
+var kind[600];
+var arg1[600];
+var arg2[600];
+
+func main() {
+  srand(2001);
+  var i = 0;
+  while (i < 600) {
+    vals[i] = rand_range(1000);
+    kind[i] = rand_range(5);
+    // reference earlier cells only, so recalculation converges
+    if (i > 0) { arg1[i] = rand_range(i); arg2[i] = rand_range(i); }
+    i = i + 1;
+  }
+  kind[0] = 0;
+  var rounds = 0;
+  var changed = 1;
+  while (changed > 0 && rounds < 40) {
+    changed = recalc(600);
+    rounds = rounds + 1;
+  }
+  io_put_labeled("rounds", rounds);
+  io_put_labeled("sum", sheet_sum(600));
+  return 0;
+}
+|}
+      )
+    ] )
+
+let spice =
+  ( "spice",
+    [ ( "spice_stamp.mc",
+        {|
+// circuit simulation: stamp a conductance matrix and relax it
+extern var cg[];
+extern var crhs[];
+extern var cx[];
+
+func stamp(n, a, b, cond) {
+  cg[a * n + a] = cg[a * n + a] + cond;
+  cg[b * n + b] = cg[b * n + b] + cond;
+  cg[a * n + b] = cg[a * n + b] - cond;
+  cg[b * n + a] = cg[b * n + a] - cond;
+  crhs[a] = crhs[a] + (cond >> 4);
+  return 0;
+}
+
+func gauss_seidel(n) {
+  var sweep = 0;
+  while (sweep < 12) {
+    var i = 0;
+    while (i < n) {
+      var s = crhs[i];
+      var j = 0;
+      while (j < n) {
+        if (j != i) { s = s - fx_mul(cg[i * n + j], cx[j]); }
+        j = j + 1;
+      }
+      var d = cg[i * n + i];
+      if (d < 256) { d = 256; }
+      cx[i] = fx_div(s, d);
+      i = i + 1;
+    }
+    sweep = sweep + 1;
+  }
+  return cx[0];
+}
+|}
+      );
+      ( "spice_main.mc",
+        {|
+extern func stamp(n, a, b, cond);
+extern func gauss_seidel(n);
+
+var cg[400];
+var crhs[20];
+var cx[20];
+
+func main() {
+  srand(777);
+  var e = 0;
+  while (e < 60) {
+    var a = rand_range(20);
+    var b = rand_range(20);
+    if (a != b) { stamp(20, a, b, 32768 + rand_range(65536)); }
+    e = e + 1;
+  }
+  var v0 = gauss_seidel(20);
+  var s = 0;
+  var i = 0;
+  while (i < 20) { s = s + iabs(cx[i]); i = i + 1; }
+  io_put_labeled("v0", v0);
+  io_put_labeled("vsum", s);
+  return 0;
+}
+|}
+      )
+    ] )
+
+let all = [ compress; eqntott; espresso; li; sc; spice ]

@@ -1,0 +1,39 @@
+type build = Compile_each | Compile_all
+
+let build_name = function
+  | Compile_each -> "compile-each"
+  | Compile_all -> "compile-all"
+
+let all_builds = [ Compile_each; Compile_all ]
+
+let compile build (b : Programs.benchmark) =
+  match build with
+  | Compile_each ->
+      List.map
+        (fun (name, src) ->
+          Minic.Driver.compile_module ~opt:Minic.Driver.O2
+            ~prelude:Runtime.prelude ~name src)
+        b.Programs.sources
+  | Compile_all ->
+      [ Minic.Driver.compile_merged ~opt:Minic.Driver.O2
+          ~prelude:Runtime.prelude
+          ~name:(b.Programs.name ^ "_all.o")
+          b.Programs.sources ]
+
+let resolve build b =
+  let units = compile build b in
+  Linker.Resolve.run units ~archives:[ Runtime.libstd () ]
+
+let cache : (build * string, Linker.Resolve.t) Hashtbl.t = Hashtbl.create 64
+
+let compile_cached build b =
+  match Hashtbl.find_opt cache (build, b.Programs.name) with
+  | Some w -> w
+  | None -> (
+      match resolve build b with
+      | Ok w ->
+          Hashtbl.replace cache (build, b.Programs.name) w;
+          w
+      | Error m ->
+          failwith (Printf.sprintf "suite: %s (%s): %s" b.Programs.name
+                      (build_name build) m))

@@ -1,0 +1,27 @@
+(** Building the benchmark matrix.
+
+    Two build styles, after the paper's §5:
+
+    - [Compile_each]: each source module is compiled separately with
+      intraprocedural optimization only ([-O2] analogue), then linked with
+      the standard libraries;
+    - [Compile_all]: all the program's sources are compiled as a single
+      unit with interprocedural optimization (internalized user procedures,
+      inlining), then linked with the same pre-compiled libraries. *)
+
+type build = Compile_each | Compile_all
+
+val build_name : build -> string
+val all_builds : build list
+
+val compile : build -> Programs.benchmark -> Objfile.Cunit.t list
+(** The program's object modules (libraries not included). Raises
+    {!Minic.Driver.Error} on bad source — benchmarks are trusted input. *)
+
+val resolve :
+  build -> Programs.benchmark -> (Linker.Resolve.t, string) result
+(** Compile and resolve against [libstd]. *)
+
+val compile_cached : build -> Programs.benchmark -> Linker.Resolve.t
+(** Like {!resolve} but memoized per (build, benchmark) and raising
+    [Failure] on error — the measurement harness calls this repeatedly. *)

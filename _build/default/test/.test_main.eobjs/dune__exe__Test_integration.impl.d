@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Linker List Machine Om Printf Reports Result String Workloads

@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Array Isa Linker List Machine Objfile Option Result Runtime String Testutil

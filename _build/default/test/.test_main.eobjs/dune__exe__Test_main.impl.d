@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_integration Test_isa Test_linker Test_machine Test_minic Test_more Test_objfile Test_om Test_runtime

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Int64 Isa Linker List Machine Minic Objfile Om Printf QCheck Runtime String Testutil

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Bytes Format Hashtbl Int64 Isa Linker List Minic Om Option Printf Reports Result Runtime String Testutil Workloads

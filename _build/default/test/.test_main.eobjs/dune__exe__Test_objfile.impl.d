@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Array Bytes Char Isa List Minic Objfile Option QCheck Result Testutil

@@ -1,0 +1,1 @@
+test/test_om.ml: Alcotest Array Bytes Fun Int32 Isa Linker List Machine Objfile Om Option Printf QCheck Result Runtime Seq String Testutil

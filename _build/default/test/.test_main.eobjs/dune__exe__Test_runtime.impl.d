@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Int64 Linker List Objfile Printf QCheck Runtime String Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Linker List Machine Minic Om Printf QCheck_alcotest Runtime

@@ -1,0 +1,176 @@
+(* End-to-end tests over real suite benchmarks: every build style and
+   optimization level must agree bit-for-bit on program output, and the
+   static statistics must satisfy the paper's qualitative claims. *)
+
+let quick_benchmarks = [ "li"; "compress"; "tomcatv"; "spice"; "eqntott" ]
+
+let get name =
+  match Workloads.Programs.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "unknown benchmark %s" name
+
+let measure name build =
+  match Reports.Measure.run_benchmark build (get name) with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "%s: %s" name m
+
+let test_outputs_agree name () =
+  List.iter
+    (fun build ->
+      let r = measure name build in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s outputs agree" name
+           (Workloads.Suite.build_name build))
+        true r.Reports.Measure.outputs_agree;
+      Alcotest.(check bool) "output is nonempty" true
+        (String.length r.Reports.Measure.std_output > 0))
+    Workloads.Suite.all_builds
+
+let stats_exn r level =
+  match Reports.Measure.stats_of r level with
+  | Some s -> s
+  | None -> Alcotest.fail "missing stats"
+
+let test_paper_claims name () =
+  let r = measure name Workloads.Suite.Compile_each in
+  let simple = stats_exn r Om.Simple in
+  let full = stats_exn r Om.Full in
+  (* OM-simple never changes the instruction count; OM-full shrinks it *)
+  Alcotest.(check int) "simple preserves size" simple.Om.Stats.insns_before
+    simple.Om.Stats.insns_after;
+  Alcotest.(check bool) "full shrinks the program" true
+    (full.Om.Stats.insns_after < full.Om.Stats.insns_before);
+  (* address loads: full removes at least as many as simple *)
+  Alcotest.(check bool) "full removes at least as many address loads" true
+    (full.Om.Stats.addr_converted + full.Om.Stats.addr_nullified
+    >= simple.Om.Stats.addr_converted + simple.Om.Stats.addr_nullified);
+  (* essentially all jsr calls become bsr under both levels *)
+  Alcotest.(check bool) "jsr mostly gone (simple)" true
+    (simple.Om.Stats.jsr_after * 4 <= simple.Om.Stats.jsr_before);
+  (* GP-reset and PV-load requirements only improve with effort *)
+  Alcotest.(check bool) "pv: full <= simple" true
+    (full.Om.Stats.calls_pv_after <= simple.Om.Stats.calls_pv_after);
+  Alcotest.(check bool) "reset: full <= simple" true
+    (full.Om.Stats.calls_reset_after <= simple.Om.Stats.calls_reset_after);
+  (* GAT reduction is dramatic under full *)
+  Alcotest.(check bool) "GAT shrinks by more than half" true
+    (full.Om.Stats.gat_bytes_after * 2 < full.Om.Stats.gat_bytes_before)
+
+let test_compile_all_calls_cheaper () =
+  (* under compile-all, fewer call sites need bookkeeping to begin with
+     (the compiler optimized user-to-user calls), but library calls keep
+     the fraction high — the paper's core observation *)
+  let r_each = measure "li" Workloads.Suite.Compile_each in
+  let r_all = measure "li" Workloads.Suite.Compile_all in
+  let s_each = stats_exn r_each Om.Simple in
+  let s_all = stats_exn r_all Om.Simple in
+  let frac (s : Om.Stats.t) =
+    float_of_int s.Om.Stats.calls_pv_before /. float_of_int (max 1 s.Om.Stats.calls)
+  in
+  Alcotest.(check bool) "compile-all needs fewer pv loads up front" true
+    (frac s_all <= frac s_each);
+  Alcotest.(check bool) "but far from zero (library calls remain)" true
+    (frac s_all > 0.3)
+
+let test_dynamic_improvement_band () =
+  (* the headline effect: OM-full should help li (a very call-dense
+     program) by several percent, and never corrupt it *)
+  let r = measure "li" Workloads.Suite.Compile_each in
+  let imp = Reports.Measure.improvement r Om.Full in
+  Alcotest.(check bool)
+    (Printf.sprintf "li improves by >2%% (got %.2f%%)" imp)
+    true (imp > 2.)
+
+let test_insn_counts_drop_under_full () =
+  let r = measure "compress" Workloads.Suite.Compile_each in
+  let full_run =
+    List.find (fun (x : Reports.Measure.run) -> x.level = Om.Full) r.Reports.Measure.runs
+  in
+  Alcotest.(check bool) "dynamic instructions drop" true
+    (full_run.Reports.Measure.insns < r.Reports.Measure.std_insns)
+
+let test_all_benchmarks_compile () =
+  (* every benchmark of the suite at least compiles and resolves in both
+     build styles (full dynamic checks run in the benchmark harness) *)
+  List.iter
+    (fun (b : Workloads.Programs.benchmark) ->
+      List.iter
+        (fun build ->
+          match Workloads.Suite.resolve build b with
+          | Ok _ -> ()
+          | Error m ->
+              Alcotest.failf "%s (%s): %s" b.name
+                (Workloads.Suite.build_name build) m)
+        Workloads.Suite.all_builds)
+    Workloads.Programs.all
+
+let test_timing_harness () =
+  let t = Reports.Measure.time_builds (get "li") in
+  Alcotest.(check bool) "timings positive" true
+    (t.Reports.Measure.t_std_link >= 0. && t.Reports.Measure.t_full >= 0.);
+  (* the interprocedural rebuild includes compilation, so it costs more
+     than a standard link — the paper's Figure 7 argument *)
+  Alcotest.(check bool) "interproc build slower than standard link" true
+    (t.Reports.Measure.t_interproc > t.Reports.Measure.t_std_link)
+
+let suite =
+  ( "integration",
+    List.map
+      (fun name ->
+        Alcotest.test_case
+          (Printf.sprintf "%s agrees at all levels" name)
+          `Slow (test_outputs_agree name))
+      quick_benchmarks
+    @ [ Alcotest.test_case "paper claims (li)" `Slow (test_paper_claims "li");
+        Alcotest.test_case "paper claims (compress)" `Slow
+          (test_paper_claims "compress");
+        Alcotest.test_case "paper claims (tomcatv)" `Slow
+          (test_paper_claims "tomcatv");
+        Alcotest.test_case "compile-all call bookkeeping" `Slow
+          test_compile_all_calls_cheaper;
+        Alcotest.test_case "dynamic improvement band" `Slow
+          test_dynamic_improvement_band;
+        Alcotest.test_case "dynamic instruction drop" `Slow
+          test_insn_counts_drop_under_full;
+        Alcotest.test_case "all benchmarks compile" `Slow
+          test_all_benchmarks_compile;
+        Alcotest.test_case "timing harness" `Slow test_timing_harness ] )
+
+(* --- determinism and budget --- *)
+
+let test_suite_deterministic () =
+  let b = get "compress" in
+  let run () =
+    let w = Workloads.Suite.compile_cached Workloads.Suite.Compile_each b in
+    let img = Result.get_ok (Linker.Link.link_resolved w) in
+    match Machine.Cpu.run img with
+    | Ok o -> (o.Machine.Cpu.output, o.Machine.Cpu.stats.Machine.Cpu.cycles)
+    | Error _ -> Alcotest.fail "fault"
+  in
+  let a = run () and b' = run () in
+  Alcotest.(check string) "same output" (fst a) (fst b');
+  Alcotest.(check int) "same cycles" (snd a) (snd b')
+
+let test_suite_budget () =
+  (* keep the harness usable: no benchmark may exceed 40M instructions *)
+  List.iter
+    (fun (b : Workloads.Programs.benchmark) ->
+      let w = Workloads.Suite.compile_cached Workloads.Suite.Compile_each b in
+      let img = Result.get_ok (Linker.Link.link_resolved w) in
+      match Machine.Cpu.run img with
+      | Ok o ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s within budget (%d insns)" b.name
+               o.Machine.Cpu.stats.Machine.Cpu.insns)
+            true
+            (o.Machine.Cpu.stats.Machine.Cpu.insns < 40_000_000)
+      | Error e ->
+          Alcotest.failf "%s faults: %a" b.name Machine.Cpu.pp_error e)
+    Workloads.Programs.all
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [ Alcotest.test_case "suite determinism" `Slow test_suite_deterministic;
+        Alcotest.test_case "suite instruction budget" `Slow test_suite_budget ] )

@@ -1,0 +1,213 @@
+module I = Isa.Insn
+module R = Isa.Reg
+
+(* Build a runnable image from raw instructions via the normal pipeline,
+   so the machine tests exercise real linked code. *)
+let image_of_insns insns =
+  let m = Minic.Masm.create "m.o" in
+  Minic.Masm.add_proc m ~name:"__start" insns;
+  let unit = Minic.Masm.assemble m in
+  match Linker.Link.link [ unit ] ~archives:[] with
+  | Ok image -> image
+  | Error msg -> Alcotest.failf "link: %s" msg
+
+let exit_with code =
+  [ Minic.Masm.Insn (I.Lda { ra = R.a0; rb = code; disp = 0 });
+    Minic.Masm.Insn (I.Lda { ra = R.v0; rb = R.zero; disp = 0 });
+    Minic.Masm.Insn (I.Call_pal 0x83) ]
+
+let run insns =
+  match Machine.Cpu.run (image_of_insns insns) with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "fault: %a" Machine.Cpu.pp_error e
+
+let test_cache () =
+  let c = Machine.Cache.create ~size_bytes:64 ~line_bytes:32 in
+  Alcotest.(check bool) "first access misses" false (Machine.Cache.access c 0);
+  Alcotest.(check bool) "same line hits" true (Machine.Cache.access c 24);
+  Alcotest.(check bool) "second line misses" false (Machine.Cache.access c 32);
+  (* 64-byte direct-mapped: address 64 maps to line 0 again *)
+  Alcotest.(check bool) "conflict evicts" false (Machine.Cache.access c 64);
+  Alcotest.(check bool) "original line was evicted" false
+    (Machine.Cache.access c 0);
+  Alcotest.(check int) "misses counted" 4 (Machine.Cache.misses c);
+  Machine.Cache.reset c;
+  Alcotest.(check int) "reset clears" 0 (Machine.Cache.misses c)
+
+let test_arithmetic () =
+  (* v0=6*7 via mulq; exit with it *)
+  let o =
+    run
+      ([ Minic.Masm.Insn (I.Lda { ra = R.t0; rb = R.zero; disp = 6 });
+         Minic.Masm.Insn (I.Lda { ra = R.t1; rb = R.zero; disp = 7 });
+         Minic.Masm.Insn (I.Op { op = I.Mulq; ra = R.t0; rb = I.Rb R.t1; rc = R.a0 });
+         Minic.Masm.Insn (I.Lda { ra = R.v0; rb = R.zero; disp = 0 });
+         Minic.Masm.Insn (I.Call_pal 0x83) ])
+  in
+  Alcotest.(check int64) "6*7" 42L o.Machine.Cpu.exit_code
+
+let test_memory () =
+  (* store then load through sp *)
+  let o =
+    run
+      [ Minic.Masm.Insn (I.Lda { ra = R.t0; rb = R.zero; disp = 1234 });
+        Minic.Masm.Insn (I.Stq { ra = R.t0; rb = R.sp; disp = -16 });
+        Minic.Masm.Insn (I.Ldq { ra = R.a0; rb = R.sp; disp = -16 });
+        Minic.Masm.Insn (I.Lda { ra = R.v0; rb = R.zero; disp = 0 });
+        Minic.Masm.Insn (I.Call_pal 0x83) ]
+  in
+  Alcotest.(check int64) "store/load" 1234L o.Machine.Cpu.exit_code
+
+let test_unaligned_faults () =
+  let image =
+    image_of_insns
+      [ Minic.Masm.Insn (I.Ldq { ra = R.t0; rb = R.sp; disp = -13 });
+        Minic.Masm.Insn (I.Call_pal 0x83) ]
+  in
+  match Machine.Cpu.run image with
+  | Error (Machine.Cpu.Unaligned_access _) -> ()
+  | Error e -> Alcotest.failf "wrong fault: %a" Machine.Cpu.pp_error e
+  | Ok _ -> Alcotest.fail "expected a fault"
+
+let test_wild_address_faults () =
+  let image =
+    image_of_insns
+      [ Minic.Masm.Insn (I.Ldq { ra = R.t0; rb = R.zero; disp = 16 });
+        Minic.Masm.Insn (I.Call_pal 0x83) ]
+  in
+  match Machine.Cpu.run image with
+  | Error (Machine.Cpu.Out_of_range_access _) -> ()
+  | Error e -> Alcotest.failf "wrong fault: %a" Machine.Cpu.pp_error e
+  | Ok _ -> Alcotest.fail "expected a fault"
+
+let test_insn_limit () =
+  let m = Minic.Masm.create "loop.o" in
+  let l = Minic.Masm.fresh_label m in
+  Minic.Masm.add_proc m ~name:"__start"
+    [ Minic.Masm.Label l;
+      Minic.Masm.Branch { insn = I.Br { ra = R.zero; disp = 0 }; target = l } ];
+  let unit = Minic.Masm.assemble m in
+  let image = Result.get_ok (Linker.Link.link [ unit ] ~archives:[]) in
+  let config = { Machine.Cpu.default_config with max_insns = 1000 } in
+  match Machine.Cpu.run ~config image with
+  | Error Machine.Cpu.Insn_limit_reached -> ()
+  | Error e -> Alcotest.failf "wrong fault: %a" Machine.Cpu.pp_error e
+  | Ok _ -> Alcotest.fail "expected the limit to fire"
+
+let test_output_syscalls () =
+  let out = Testutil.run_src {|
+func main() {
+  io_putint(0 - 42);
+  io_putchar(10);
+  io_puts("hi");
+  io_newline();
+  return 0;
+}
+|} in
+  Alcotest.(check string) "stdout" "-42\nhi\n" out
+
+let test_sbrk () =
+  let out = Testutil.run_src {|
+func main() {
+  var p = alloc(4);
+  var q = alloc(4);
+  p[0] = 5;
+  q[0] = 7;
+  io_putint(q - p);
+  io_putchar(10);
+  io_putint(p[0] + q[0]);
+  return 0;
+}
+|} in
+  Alcotest.(check string) "bump allocation" "32\n12" out
+
+let test_branch_timing () =
+  (* a taken branch must cost at least one extra cycle over fall-through *)
+  let straight =
+    run
+      ([ Minic.Masm.Insn I.nop; Minic.Masm.Insn I.nop ] @ exit_with R.zero)
+  in
+  let m = Minic.Masm.create "b.o" in
+  let l = Minic.Masm.fresh_label m in
+  Minic.Masm.add_proc m ~name:"__start"
+    ([ Minic.Masm.Branch { insn = I.Br { ra = R.zero; disp = 0 }; target = l };
+       Minic.Masm.Insn I.nop;
+       Minic.Masm.Label l ]
+    @ exit_with R.zero);
+  let unit = Minic.Masm.assemble m in
+  let image = Result.get_ok (Linker.Link.link [ unit ] ~archives:[]) in
+  let branchy =
+    match Machine.Cpu.run image with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "fault: %a" Machine.Cpu.pp_error e
+  in
+  Alcotest.(check bool) "taken branch costs a bubble" true
+    (branchy.Machine.Cpu.stats.Machine.Cpu.cycles
+     >= straight.Machine.Cpu.stats.Machine.Cpu.cycles)
+
+let test_dual_issue_effect () =
+  (* the same program runs in fewer cycles with dual issue enabled *)
+  let src = {|
+func main() {
+  var s = 0;
+  var i = 0;
+  while (i < 1000) { s = s + i * 3; i = i + 1; }
+  io_putint(s);
+  return 0;
+}
+|} in
+  let image = Testutil.link_std [ Testutil.compile src ] in
+  let dual = Testutil.run_image image in
+  let single =
+    match
+      Machine.Cpu.run
+        ~config:{ Machine.Cpu.default_config with dual_issue = false }
+        image
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "fault: %a" Machine.Cpu.pp_error e
+  in
+  Alcotest.(check string) "same output" dual.Machine.Cpu.output
+    single.Machine.Cpu.output;
+  Alcotest.(check bool) "dual issue is faster" true
+    (dual.Machine.Cpu.stats.Machine.Cpu.cycles
+     < single.Machine.Cpu.stats.Machine.Cpu.cycles)
+
+let test_cycles_at_least_insns () =
+  let o = run (exit_with R.zero) in
+  Alcotest.(check bool) "cycles >= insns/2" true
+    (o.Machine.Cpu.stats.Machine.Cpu.cycles
+     >= o.Machine.Cpu.stats.Machine.Cpu.insns / 2)
+
+let suite =
+  ( "machine",
+    [ Alcotest.test_case "direct-mapped cache" `Quick test_cache;
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "memory" `Quick test_memory;
+      Alcotest.test_case "unaligned access faults" `Quick test_unaligned_faults;
+      Alcotest.test_case "wild address faults" `Quick test_wild_address_faults;
+      Alcotest.test_case "instruction limit" `Quick test_insn_limit;
+      Alcotest.test_case "output system calls" `Quick test_output_syscalls;
+      Alcotest.test_case "sbrk allocation" `Quick test_sbrk;
+      Alcotest.test_case "branch timing" `Quick test_branch_timing;
+      Alcotest.test_case "dual issue speeds up" `Quick test_dual_issue_effect;
+      Alcotest.test_case "cycle sanity" `Quick test_cycles_at_least_insns ] )
+
+let test_trace_hook () =
+  let image = Testutil.link_std [ Testutil.compile {|func main() { return 3; }|} ] in
+  let traced = ref 0 in
+  let calls = ref 0 in
+  (match Machine.Cpu.run ~trace:(fun ~pc:_ insn ->
+       incr traced;
+       if Isa.Insn.is_call insn then incr calls)
+       image with
+  | Ok o ->
+      Alcotest.(check int) "trace sees every instruction" o.Machine.Cpu.stats.Machine.Cpu.insns
+        !traced;
+      (* crt0 calls main: at least one call *)
+      Alcotest.(check bool) "calls observed" true (!calls >= 1)
+  | Error e -> Alcotest.failf "fault: %a" Machine.Cpu.pp_error e)
+
+let suite =
+  let name, cases = suite in
+  (name, cases @ [ Alcotest.test_case "trace hook" `Quick test_trace_hook ])

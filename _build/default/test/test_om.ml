@@ -1,0 +1,449 @@
+module S = Om.Symbolic
+module I = Isa.Insn
+module R = Isa.Reg
+
+let world_of ?(extra = []) src =
+  let units = Testutil.compile src :: extra in
+  match Linker.Resolve.run units ~archives:[ Runtime.libstd () ] with
+  | Ok w -> w
+  | Error m -> Alcotest.failf "resolve: %s" m
+
+let lift world =
+  match Om.Lift.run world with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "lift: %s" m
+
+let om_level level world =
+  match Om.optimize_resolved level world with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "%s: %s" (Om.level_name level) m
+
+let find_proc (p : S.program) name =
+  match
+    Array.to_seq p.S.procs
+    |> Seq.find (fun (pr : S.proc) -> String.equal pr.sp_name name)
+  with
+  | Some pr -> pr
+  | None -> Alcotest.failf "no procedure %s in symbolic program" name
+
+(* --- lift --- *)
+
+let test_lift_classifies () =
+  let world =
+    world_of {|var g = 1;
+               func main() { g = g + 2; io_putint(g); return 0; }|}
+  in
+  let program = lift world in
+  let main = find_proc program "main" in
+  let count pred = List.length (List.filter pred main.S.body) in
+  Alcotest.(check bool) "has address loads" true
+    (count (fun n -> match n.S.insn with S.Gatload _ -> true | _ -> false) > 0);
+  Alcotest.(check bool) "has lituse links" true
+    (count (fun n -> match n.S.insn with S.Use _ -> true | _ -> false) > 0);
+  Alcotest.(check bool) "has gp setup" true
+    (count (fun n -> match n.S.insn with S.Gpsetup_hi _ -> true | _ -> false) > 0);
+  (* instruction count matches the object code *)
+  let u = world.Linker.Resolve.modules.(0) in
+  let p = Option.get (Objfile.Cunit.find_symbol u "main") in
+  let size =
+    match p.Objfile.Symbol.def with
+    | Objfile.Symbol.Proc { size; _ } -> size
+    | _ -> 0
+  in
+  Alcotest.(check int) "node count = insn count" (size / 4)
+    (List.length main.S.body)
+
+let test_noopt_behavior_preserved () =
+  (* lift + lower with no transformation behaves like the standard link *)
+  let src = {|
+var xs[50];
+static func fill(n) {
+  var i = 0;
+  while (i < n) { xs[i] = i * i % 97; i = i + 1; }
+  return 0;
+}
+func main() {
+  fill(50);
+  sort_quads(&xs, 50);
+  io_putint(xs[0]); io_putchar(32); io_putint(xs[49]);
+  return 0;
+}
+|} in
+  ignore (Testutil.run_all_levels src)
+
+(* --- analysis --- *)
+
+let test_callsite_discovery () =
+  let world =
+    world_of
+      {|func leaf(x) { return x + 1; }
+        var fp = 0;
+        func main() {
+          fp = &leaf;
+          io_putint(leaf(1) + fp(2));
+          return 0; }|}
+  in
+  let program = lift world in
+  let als = Om.Analysis.run program in
+  let in_main =
+    List.filter
+      (fun (cs : Om.Analysis.callsite) ->
+        program.S.procs.(cs.cs_proc).S.sp_name = "main")
+      als.Om.Analysis.callsites
+  in
+  let direct =
+    List.exists
+      (fun (cs : Om.Analysis.callsite) ->
+        match cs.cs_kind with
+        | Om.Analysis.Direct { callee; _ } ->
+            world.Linker.Resolve.procs.(callee).p_name = "leaf"
+        | _ -> false)
+      in_main
+  in
+  let indirect =
+    List.exists
+      (fun (cs : Om.Analysis.callsite) -> cs.cs_kind = Om.Analysis.Indirect)
+      in_main
+  in
+  Alcotest.(check bool) "finds the direct call" true direct;
+  Alcotest.(check bool) "finds the indirect call" true indirect
+
+let test_address_taken () =
+  let world =
+    world_of
+      {|func plain(x) { return x; }
+        func pointed(x) { return x + 1; }
+        var fp = 0;
+        func main() {
+          fp = &pointed;
+          io_putint(plain(1) + fp(1));
+          return 0; }|}
+  in
+  let program = lift world in
+  let als = Om.Analysis.run program in
+  let idx name = Option.get (Linker.Resolve.proc_index_by_name world name) in
+  Alcotest.(check bool) "pointed is address-taken" true
+    als.Om.Analysis.address_taken.(idx "pointed");
+  Alcotest.(check bool) "plain is not" false
+    als.Om.Analysis.address_taken.(idx "plain")
+
+(* --- transformations --- *)
+
+let test_move_setups () =
+  let world =
+    world_of {|var g = 1;
+               func main() { io_putint(g); return 0; }|}
+  in
+  let program = lift world in
+  let main = find_proc program "main" in
+  (* compile-time scheduling usually displaces the pair *)
+  Om.Transform.move_setups_to_entry program;
+  Alcotest.(check bool) "setup at entry after motion" true
+    (Option.is_some (Om.Transform.setup_at_entry main))
+
+let stats_of level world = (om_level level world).Om.stats
+
+let test_simple_nullifies_not_deletes () =
+  let world =
+    world_of {|var a = 1; var b = 2;
+               func main() { io_putint(a + b); return 0; }|}
+  in
+  let s = stats_of Om.Simple world in
+  Alcotest.(check int) "no deletions in OM-simple" 0 s.Om.Stats.insns_deleted;
+  Alcotest.(check bool) "some nullifications" true (s.Om.Stats.nops_added > 0);
+  Alcotest.(check int) "static size unchanged" s.Om.Stats.insns_before
+    s.Om.Stats.insns_after
+
+let test_full_deletes () =
+  let world =
+    world_of {|var a = 1; var b = 2;
+               func main() { io_putint(a + b); return 0; }|}
+  in
+  let s = stats_of Om.Full world in
+  Alcotest.(check int) "no no-ops in OM-full" 0 s.Om.Stats.nops_added;
+  Alcotest.(check bool) "deletions happen" true (s.Om.Stats.insns_deleted > 0);
+  Alcotest.(check bool) "program shrinks" true
+    (s.Om.Stats.insns_after < s.Om.Stats.insns_before)
+
+let test_full_removes_more_pv_loads () =
+  let src = {|
+func a(x) { return x + 1; }
+func b(x) { return a(x) + 2; }
+func c(x) { return b(x) + 3; }
+func main() { io_putint(c(1) + b(2) + a(3)); return 0; }
+|} in
+  let world = world_of src in
+  let simple = stats_of Om.Simple world in
+  let full = stats_of Om.Full world in
+  Alcotest.(check bool) "jsr all but gone under both" true
+    (simple.Om.Stats.jsr_after <= simple.Om.Stats.jsr_before
+    && full.Om.Stats.jsr_after <= 1);
+  Alcotest.(check bool) "full keeps fewer pv loads than simple" true
+    (full.Om.Stats.calls_pv_after <= simple.Om.Stats.calls_pv_after);
+  Alcotest.(check bool) "full deletes gp setups" true
+    (full.Om.Stats.gp_setups_deleted > 0)
+
+let test_indirect_calls_keep_bookkeeping () =
+  let src = {|
+func target(x) { return x * 2; }
+var fp = 0;
+func main() {
+  fp = &target;
+  io_putint(fp(21));
+  return 0;
+}
+|} in
+  let world = world_of src in
+  let full = stats_of Om.Full world in
+  (* the call through fp cannot lose its PV load or its GP reset *)
+  Alcotest.(check bool) "pv loads remain" true
+    (full.Om.Stats.calls_pv_after >= 1);
+  Alcotest.(check bool) "resets remain" true
+    (full.Om.Stats.calls_reset_after >= 1)
+
+let test_gat_reduction () =
+  let src = {|
+var a = 1; var b = 2; var c = 3; var d = 4;
+func main() {
+  io_putint(a + b + c + d + 0x123456789ABCDEF);
+  return 0;
+}
+|} in
+  let world = world_of src in
+  let full = stats_of Om.Full world in
+  Alcotest.(check bool) "GAT shrinks a lot" true
+    (full.Om.Stats.gat_bytes_after * 2 < full.Om.Stats.gat_bytes_before);
+  (* the 64-bit literal still needs its pool slot *)
+  Alcotest.(check bool) "pool is not empty" true
+    (full.Om.Stats.gat_bytes_after >= 8)
+
+let test_far_data_lea_wide () =
+  (* data too large for the GP window: OM-full must use ldah/lda pairs
+     and the program must still work at every level *)
+  let src = {|
+var big1[9000];
+var big2[9000];
+func main() {
+  big1[8999] = 7;
+  big2[8999] = 35;
+  io_putint(big1[8999] + big2[8999]);
+  return 0;
+}
+|} in
+  let out = Testutil.run_all_levels src in
+  Alcotest.(check string) "far-data program output" "42" out
+
+let test_addr_accounting () =
+  let world =
+    world_of {|var a = 1;
+               func main() { io_putint(a); return 0; }|}
+  in
+  List.iter
+    (fun level ->
+      let s = stats_of level world in
+      Alcotest.(check bool)
+        (Om.level_name level ^ ": converted+nullified <= total")
+        true
+        (s.Om.Stats.addr_converted + s.Om.Stats.addr_nullified
+         <= s.Om.Stats.addr_loads);
+      Alcotest.(check bool)
+        (Om.level_name level ^ ": pv after <= calls")
+        true
+        (s.Om.Stats.calls_pv_after <= s.Om.Stats.calls))
+    [ Om.Simple; Om.Full ]
+
+let test_full_sched_alignment () =
+  (* quadword alignment never breaks behavior; loop targets get aligned *)
+  let src = {|
+var acc = 0;
+func main() {
+  var i = 0;
+  while (i < 100) { acc = acc + i; i = i + 1; }
+  io_putint(acc);
+  return 0;
+}
+|} in
+  let world = world_of src in
+  let { Om.image; _ } = om_level Om.Full_sched world in
+  let out = (Testutil.run_image image).Machine.Cpu.output in
+  Alcotest.(check string) "aligned program output" "4950" out
+
+(* --- behavior preservation properties --- *)
+
+(* a tiny generator of random minic programs *)
+let gen_program =
+  let open QCheck.Gen in
+  let var i = Printf.sprintf "g%d" i in
+  let* nglobals = int_range 1 4 in
+  let* stmts =
+    list_size (int_range 1 8)
+      (let* v = int_range 0 (nglobals - 1) in
+       let* w = int_range 0 (nglobals - 1) in
+       let* c = int_range 0 200 in
+       oneofl
+         [ Printf.sprintf "%s = %s + %d;" (var v) (var w) c;
+           Printf.sprintf "%s = %s * 3 - %d;" (var v) (var w) c;
+           Printf.sprintf "if (%s > %d) { %s = %s - %d; }" (var v) c (var w)
+             (var w) c;
+           Printf.sprintf
+             "{ var i = 0; while (i < %d) { %s = %s + i; i = i + 1; } }"
+             (c mod 17) (var v) (var v) ]
+       |> map (fun s ->
+              (* minic has no bare blocks: rewrite the loop form *)
+              if String.length s > 0 && s.[0] = '{' then
+                Printf.sprintf
+                  "ctr = 0; while (ctr < %d) { %s = %s + ctr; ctr = ctr + 1; }"
+                  (c mod 17) (var v) (var v)
+              else s))
+  in
+  let globals =
+    String.concat "\n"
+      (List.init nglobals (fun i -> Printf.sprintf "var g%d = %d;" i (i + 1)))
+  in
+  let body = String.concat "\n  " stmts in
+  let prints =
+    String.concat " "
+      (List.init nglobals (fun i ->
+           Printf.sprintf "io_putint(g%d); io_putchar(32);" i))
+  in
+  return
+    (Printf.sprintf
+       "%s\nfunc main() {\n  var ctr = 0;\n  %s\n  %s\n  return ctr * 0;\n}"
+       globals body prints)
+
+let prop_all_levels_agree =
+  QCheck.Test.make ~name:"every OM level preserves program behavior" ~count:30
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      match Testutil.run_all_levels src with
+      | _ -> true
+      | exception Alcotest.Test_error -> false)
+
+let suite =
+  ( "om",
+    [ Alcotest.test_case "lift classifies instructions" `Quick
+        test_lift_classifies;
+      Alcotest.test_case "no-opt preserves behavior" `Quick
+        test_noopt_behavior_preserved;
+      Alcotest.test_case "call-site discovery" `Quick test_callsite_discovery;
+      Alcotest.test_case "address-taken analysis" `Quick test_address_taken;
+      Alcotest.test_case "setup motion" `Quick test_move_setups;
+      Alcotest.test_case "simple nullifies, never deletes" `Quick
+        test_simple_nullifies_not_deletes;
+      Alcotest.test_case "full deletes" `Quick test_full_deletes;
+      Alcotest.test_case "full beats simple on calls" `Quick
+        test_full_removes_more_pv_loads;
+      Alcotest.test_case "indirect calls stay conservative" `Quick
+        test_indirect_calls_keep_bookkeeping;
+      Alcotest.test_case "GAT reduction" `Quick test_gat_reduction;
+      Alcotest.test_case "far data via ldah/lda" `Quick test_far_data_lea_wide;
+      Alcotest.test_case "stat accounting invariants" `Quick
+        test_addr_accounting;
+      Alcotest.test_case "alignment variant" `Quick test_full_sched_alignment;
+      Testutil.qtest prop_all_levels_agree ] )
+
+(* --- independent image verification --- *)
+
+let test_verify_all_levels () =
+  let src = {|
+var a = 1; var b = 2; var big[3000];
+func helper(x) { a = a + x; return a * b; }
+func main() {
+  var i = 0;
+  while (i < 20) { big[i] = helper(i); i = i + 1; }
+  io_putint(big[19]);
+  return 0;
+}
+|} in
+  let world = world_of src in
+  let std = Result.get_ok (Linker.Link.link_resolved world) in
+  (match Om.Verify.check std with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "standard image fails verification: %s" m);
+  List.iter
+    (fun level ->
+      let { Om.image; _ } = om_level level world in
+      match Om.Verify.check image with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.failf "%s image fails verification: %s"
+            (Om.level_name level) m)
+    Om.all_levels
+
+let test_verify_catches_corruption () =
+  let world = world_of {|func main() { io_putint(isqrt(81)); return 0; }|} in
+  let { Om.image; _ } = om_level Om.Full world in
+  (* smash a branch displacement to point into another procedure's body *)
+  let insns = Linker.Image.insns image in
+  let victim = ref None in
+  Array.iteri
+    (fun k i ->
+      if !victim = None then
+        match i with
+        | Isa.Insn.Bsr { ra; _ } ->
+            victim := Some (k, Isa.Insn.Bsr { ra; disp = 3000 })
+        | _ -> ())
+    insns;
+  match !victim with
+  | None -> Alcotest.fail "no bsr found to corrupt"
+  | Some (k, bad) ->
+      let text = Bytes.copy image.Linker.Image.text in
+      Bytes.set_int32_le text (4 * k) (Int32.of_int (Isa.Encode.insn bad));
+      let corrupted = { image with Linker.Image.text } in
+      Alcotest.(check bool) "verifier flags the corruption" true
+        (Result.is_error (Om.Verify.check corrupted))
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [ Alcotest.test_case "verifier passes all levels" `Quick
+          test_verify_all_levels;
+        Alcotest.test_case "verifier catches corruption" `Quick
+          test_verify_catches_corruption ] )
+
+(* --- ablation variants preserve behavior --- *)
+
+let test_ablation_preserves_behavior () =
+  let src = {|
+var total = 0;
+func accumulate(x) { total = total + x * x; return total; }
+func main() {
+  var i = 0;
+  while (i < 30) { accumulate(i); i = i + 1; }
+  io_putint(total);
+  return 0;
+}
+|} in
+  let world = world_of src in
+  let std = Result.get_ok (Linker.Link.link_resolved world) in
+  let base = (Testutil.run_image std).Machine.Cpu.output in
+  let d = Om.Transform.default_options in
+  List.iter
+    (fun (name, opts) ->
+      match Om.optimize_resolved ~transform_options:opts Om.Full world with
+      | Ok { Om.image; _ } ->
+          Alcotest.(check string) (name ^ " preserves behavior") base
+            (Testutil.run_image image).Machine.Cpu.output
+      | Error m -> Alcotest.failf "%s: %s" name m)
+    [ ("-calls", { d with Om.Transform.opt_calls = false });
+      ("-addr", { d with Om.Transform.opt_addr = false });
+      ("-setup-motion", { d with Om.Transform.opt_setup_motion = false });
+      ("-setup-deletion", { d with Om.Transform.opt_setup_deletion = false });
+      ("only-calls",
+       { Om.Transform.opt_calls = true;
+         opt_addr = false;
+         opt_setup_motion = true;
+         opt_setup_deletion = false });
+      ("nothing",
+       { Om.Transform.opt_calls = false;
+         opt_addr = false;
+         opt_setup_motion = false;
+         opt_setup_deletion = false }) ]
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [ Alcotest.test_case "ablation variants preserve behavior" `Quick
+          test_ablation_preserves_behavior ] )

@@ -1,0 +1,192 @@
+(* The runtime library's own behavior, exercised through compiled code. *)
+
+let t = Testutil.check_output
+
+let library_tests =
+  [ t "iabs/imin/imax" "5 5 -3 7"
+      {|func main() {
+          io_putint(iabs(-5)); io_putchar(32);
+          io_putint(iabs(5)); io_putchar(32);
+          io_putint(imin(-3, 7)); io_putchar(32);
+          io_putint(imax(-3, 7));
+          return 0; }|};
+    t "ipow" "1 8 1000000"
+      {|func main() {
+          io_putint(ipow(5, 0)); io_putchar(32);
+          io_putint(ipow(2, 3)); io_putchar(32);
+          io_putint(ipow(10, 6));
+          return 0; }|};
+    t "isqrt" "0 1 4 1000 759250124"
+      {|func main() {
+          io_putint(isqrt(0)); io_putchar(32);
+          io_putint(isqrt(1)); io_putchar(32);
+          io_putint(isqrt(16)); io_putchar(32);
+          io_putint(isqrt(1000000)); io_putchar(32);
+          io_putint(isqrt(0x7FFFFFFFFFFFFFF));
+          return 0; }|};
+    t "gcd" "6 1 42"
+      {|func main() {
+          io_putint(gcd(54, 24)); io_putchar(32);
+          io_putint(gcd(17, 13)); io_putchar(32);
+          io_putint(gcd(0, 42));
+          return 0; }|};
+    t "fixed-point basics" "196608 3 21845"
+      {|func main() {
+          io_putint(fx_of_int(3)); io_putchar(32);
+          io_putint(fx_to_int(fx_mul(fx_of_int(2), 98304))); io_putchar(32);
+          io_putint(fx_div(fx_of_int(1), fx_of_int(3)));
+          return 0; }|};
+    t "fx_sqrt is close" "2 9"
+      {|func main() {
+          io_putint(fx_to_int(fx_sqrt(fx_of_int(4)) + 32)); io_putchar(32);
+          io_putint(fx_to_int(fx_sqrt(fx_of_int(81)) + 32));
+          return 0; }|};
+    t "fx_exp(1) near e" "173"
+      {|func main() {
+          // e*65536 = 178145 and the 8-term series gives ~177991;
+          // >> 10 of either is 173
+          io_putint(fx_exp(65536) >> 10);
+          return 0; }|};
+    t "fx_sin basics" "0"
+      {|func main() { io_putint(fx_sin(0)); return 0; }|};
+    t "string helpers" "3 0 -1 1"
+      {|var buf[8];
+        func main() {
+          io_putint(qlen("abc")); io_putchar(32);
+          io_putint(qcmp("abc", "abc")); io_putchar(32);
+          var c = qcmp("abc", "abd");
+          if (c < 0) { io_putint(-1); } else { io_putint(1); }
+          io_putchar(32);
+          qcpy(&buf, "zz");
+          io_putint(qcmp(&buf, "zz") == 0);
+          return 0; }|};
+    t "qset and qmove" "7 7 7"
+      {|var a[4];
+        var b[4];
+        func main() {
+          qset(&a, 7, 4);
+          qmove(&b, &a, 4);
+          io_putint(b[0]); io_putchar(32);
+          io_putint(b[1]); io_putchar(32);
+          io_putint(b[3]);
+          return 0; }|};
+    t "sorting" "1 2 9"
+      {|var xs[6] = { 9, 2, 5, 1, 7, 3 };
+        func main() {
+          sort_quads(&xs, 6);
+          io_putint(xs[0]); io_putchar(32);
+          io_putint(xs[1]); io_putchar(32);
+          io_putint(xs[5]);
+          return 0; }|};
+    t "binary search" "3 -1"
+      {|var xs[8] = { 1, 3, 5, 7, 9, 11, 13, 15 };
+        func main() {
+          io_putint(bsearch_quads(&xs, 8, 7)); io_putchar(32);
+          io_putint(bsearch_quads(&xs, 8, 8));
+          return 0; }|};
+    t "apply_fn through a procedure variable" "2 4 6"
+      {|var xs[3] = { 1, 2, 3 };
+        func dbl(x) { return x * 2; }
+        func main() {
+          apply_fn(&xs, 3, &dbl);
+          io_putint(xs[0]); io_putchar(32);
+          io_putint(xs[1]); io_putchar(32);
+          io_putint(xs[2]);
+          return 0; }|};
+    t "fold_fn" "10"
+      {|var xs[4] = { 1, 2, 3, 4 };
+        func add(acc, x) { return acc + x; }
+        func main() {
+          io_putint(fold_fn(&xs, 4, &add, 0));
+          return 0; }|};
+    t "prng is deterministic" "1"
+      {|func main() {
+          srand(12345);
+          var a = randq();
+          srand(12345);
+          var b = randq();
+          io_putint(a == b);
+          return 0; }|};
+    t "rand_range bounds" "1"
+      {|func main() {
+          srand(9);
+          var ok = 1;
+          var i = 0;
+          while (i < 200) {
+            var r = rand_range(17);
+            if (r < 0 || r >= 17) { ok = 0; }
+            i = i + 1;
+          }
+          io_putint(ok);
+          return 0; }|};
+    t "allocation accounting" "9"
+      {|func main() {
+          alloc(4);
+          alloc(5);
+          io_putint(alloc_total());
+          return 0; }|};
+    t "io_put_labeled format" "x=42\n"
+      {|func main() { io_put_labeled("x", 42); return 0; }|}
+  ]
+
+(* Every library module passes Cunit validation. *)
+let test_libstd_validates () =
+  let archive = Runtime.libstd () in
+  List.iter
+    (fun (u : Objfile.Cunit.t) ->
+      match Objfile.Cunit.validate u with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "libstd member invalid: %s" m)
+    archive.Objfile.Archive.members
+
+(* crt0 passes main's return through the exit system call. *)
+let test_crt0_exit_path () =
+  Alcotest.(check int64) "exit code" 7L
+    (Testutil.run_src_exit {|func main() { return 7; }|})
+
+(* library-to-library calls: io_put_labeled -> io_puts -> io_putchar *)
+let test_library_call_chain () =
+  let world =
+    match
+      Linker.Resolve.run
+        [ Testutil.compile {|func main() { io_put_labeled("k", 1); return 0; }|} ]
+        ~archives:[ Runtime.libstd () ]
+    with
+    | Ok w -> w
+    | Error m -> Alcotest.failf "resolve: %s" m
+  in
+  let io_module =
+    Array.to_list world.Linker.Resolve.modules
+    |> List.exists (fun (u : Objfile.Cunit.t) -> u.name = "io.o")
+  in
+  Alcotest.(check bool) "io.o is linked in" true io_module
+
+let prop_divq_random =
+  QCheck.Test.make ~name:"__divq/__remq agree with Int64 division on extremes"
+    ~count:25
+    QCheck.(
+      pair
+        (oneofl
+           [ 0L; 1L; -1L; 63L; -63L; 1000000007L; -987654321L;
+             4611686018427387903L; -4611686018427387904L ])
+        (oneofl [ 1L; -1L; 2L; -2L; 7L; -7L; 1000003L; -999983L ]))
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          {|func main() {
+             io_putint(%Ld / (%Ld)); io_putchar(32);
+             io_putint(%Ld %% (%Ld));
+             return 0; }|}
+          a b a b
+      in
+      let expected = Printf.sprintf "%Ld %Ld" (Int64.div a b) (Int64.rem a b) in
+      String.equal expected (Testutil.run_src src))
+
+let suite =
+  ( "runtime",
+    library_tests
+    @ [ Alcotest.test_case "libstd members validate" `Quick
+          test_libstd_validates;
+        Alcotest.test_case "crt0 exit path" `Quick test_crt0_exit_path;
+        Alcotest.test_case "library call chain" `Quick test_library_call_chain;
+        Testutil.qtest prop_divq_random ] )
