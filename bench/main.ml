@@ -7,7 +7,11 @@
      bench/main.exe fig3       one figure: fig3 fig4 fig5 fig6 fig7 gat
      bench/main.exe summary    headline numbers vs. the paper
      bench/main.exe micro      run the Bechamel micro-benchmarks only
-     bench/main.exe quick      figures from a 5-benchmark subset *)
+     bench/main.exe quick      figures from a 5-benchmark subset
+
+   "quick" and "all" also write BENCH_report.json — the schema-versioned
+   machine-readable form of the matrix (per-benchmark, per-level cycles
+   and cycle-attribution buckets; see Obs.Report). *)
 
 let quick_subset = [ "alvinn"; "compress"; "li"; "tomcatv"; "spice" ]
 
@@ -175,6 +179,21 @@ let ablation () =
           print_newline ())
     benches
 
+(* --- machine-readable report (the perf trajectory) --- *)
+
+let report_path = "BENCH_report.json"
+
+let write_report quick =
+  let m = matrix quick in
+  Printf.eprintf "[bench] profiling for cycle attribution...\n%!";
+  let report =
+    Reports.Report_json.of_matrix ~attribution:true ~tool:"omlt-bench" m
+  in
+  Obs.Report.write report_path report;
+  Printf.eprintf "[bench] wrote %s (schema v%d, %d results)\n%!" report_path
+    report.Obs.Report.version
+    (List.length report.Obs.Report.results)
+
 (* --- driver --- *)
 
 let print_figures quick which =
@@ -201,11 +220,14 @@ let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "micro" -> micro ()
   | "ablation" -> ablation ()
-  | "quick" -> print_figures true "all"
+  | "quick" ->
+      print_figures true "all";
+      write_report true
   | ("fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "gat" | "summary") as w ->
       print_figures false w
   | "all" ->
       print_figures false "all";
+      write_report false;
       ablation ();
       print_newline ();
       micro ()

@@ -45,9 +45,41 @@ let level_arg =
     & info [ "l"; "level" ] ~docv:"LEVEL"
         ~doc:"Link level: std, noopt, simple, full, sched.")
 
-let handle_errors f = try f () with Failure m | Invalid_argument m ->
-  Printf.eprintf "omlink: %s\n" m;
-  exit 1
+let handle_errors f =
+  try f () with Failure m | Invalid_argument m | Sys_error m ->
+    Printf.eprintf "omlink: %s\n" m;
+    exit 1
+
+(* --- pass tracing (shared by run/stats/profile) --- *)
+
+let trace_term =
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON of the link pipeline to \
+                   $(docv) (load it at chrome://tracing).")
+  in
+  let summary =
+    Arg.(value & flag
+         & info [ "trace-summary" ]
+             ~doc:"Print an ASCII pass-timing summary to stderr.")
+  in
+  Term.(const (fun file summary -> (file, summary)) $ file $ summary)
+
+let with_tracing (file, summary) f =
+  if file = None && not summary then f ()
+  else begin
+    let c, v = Obs.Trace.with_collector f in
+    (match file with
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+        output_string oc (Obs.Json.to_string (Obs.Trace.to_chrome_json c));
+        output_char oc '\n'
+    | None -> ());
+    if summary then Format.eprintf "%a@." Obs.Trace.pp_summary c;
+    v
+  end
 
 (* --- compile --- *)
 
@@ -130,9 +162,10 @@ let run_cmd =
   let show_timing =
     Arg.(value & flag & info [ "timing" ] ~doc:"Print simulated cycle counts.")
   in
-  let run files level show_stats show_timing =
+  let run files level show_stats show_timing tr =
     handle_errors @@ fun () ->
-    let image, stats = link_images level files in
+    (* trace the link only: the command exits inside the simulation branch *)
+    let image, stats = with_tracing tr (fun () -> link_images level files) in
     (match (show_stats, stats) with
     | true, Some s -> Format.printf "%a@." Om.Stats.pp s
     | true, None -> Format.printf "(standard link: no optimizer statistics)@."
@@ -155,7 +188,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Link (with libstd) and execute on the machine simulator.")
-    Term.(const run $ files_arg $ level_arg $ show_stats $ show_timing)
+    Term.(const run $ files_arg $ level_arg $ show_stats $ show_timing
+          $ trace_term)
 
 (* --- text dump of the linked image --- *)
 
@@ -172,8 +206,14 @@ let image_cmd =
 (* --- stats: compare every level for the given program --- *)
 
 let stats_cmd =
-  let run files =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the comparison as schema-versioned JSON on stdout.")
+  in
+  let run files json tr =
     handle_errors @@ fun () ->
+    with_tracing tr @@ fun () ->
     let units = List.map load_unit files in
     let archives = [ Runtime.libstd () ] in
     let world =
@@ -186,32 +226,205 @@ let stats_cmd =
       | Ok i -> i
       | Error m -> failwith m
     in
+    (* a simulation fault is a result, not a number: carry the message *)
     let run_cycles image =
       match Machine.Cpu.run image with
-      | Ok o -> o.Machine.Cpu.stats.Machine.Cpu.cycles
-      | Error _ -> -1
+      | Ok o -> Ok o.Machine.Cpu.stats.Machine.Cpu.cycles
+      | Error e -> Error (Format.asprintf "%a" Machine.Cpu.pp_error e)
     in
     let base = run_cycles std in
-    Printf.printf "%-14s %10s %10s %8s\n" "level" "text insns" "cycles" "vs std";
-    Printf.printf "%-14s %10d %10d %8s\n" "standard"
-      (Linker.Image.insn_count std) base "-";
-    List.iter
-      (fun level ->
-        match Om.optimize_resolved level world with
-        | Ok { Om.image; stats } ->
-            let c = run_cycles image in
-            Printf.printf "%-14s %10d %10d %+7.2f%%\n" (Om.level_name level)
-              (Linker.Image.insn_count image) c
-              (100. *. float_of_int (base - c) /. float_of_int base);
-            if level = Om.Full then
-              Format.printf "  %a@." Om.Stats.pp stats
-        | Error m -> Printf.printf "%-14s failed: %s\n" (Om.level_name level) m)
-      Om.all_levels
+    let levels =
+      List.map
+        (fun level ->
+          match Om.optimize_resolved level world with
+          | Ok { Om.image; stats } ->
+              (level, Ok (image, stats, run_cycles image))
+          | Error m -> (level, Error m))
+        Om.all_levels
+    in
+    if json then begin
+      let cycles_and_fault = function
+        | Ok c -> (c, None)
+        | Error m -> (0, Some m)
+      in
+      let std_cycles, std_fault = cycles_and_fault base in
+      let runs =
+        List.map
+          (fun (level, r) ->
+            match r with
+            | Ok (image, stats, cycles) ->
+                let cycles, fault = cycles_and_fault cycles in
+                { Obs.Report.level = Om.level_name level;
+                  cycles;
+                  insns = Linker.Image.insn_count image;
+                  improvement_pct =
+                    (match (base, fault) with
+                    | Ok b, None when b > 0 ->
+                        100. *. float_of_int (b - cycles) /. float_of_int b
+                    | _ -> 0.);
+                  counters = Om.Stats.to_alist stats;
+                  attribution = None;
+                  fault }
+            | Error m ->
+                { Obs.Report.level = Om.level_name level;
+                  cycles = 0;
+                  insns = 0;
+                  improvement_pct = 0.;
+                  counters = [];
+                  attribution = None;
+                  fault = Some m })
+          levels
+      in
+      let report =
+        Obs.Report.make
+          [ { Obs.Report.bench = String.concat "," files;
+              build = "files";
+              std_cycles;
+              std_insns = Linker.Image.insn_count std;
+              std_attribution = None;
+              std_fault;
+              outputs_agree = true;
+              runs } ]
+      in
+      print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+    end
+    else begin
+      let cycles_cell = function
+        | Ok c -> string_of_int c
+        | Error m -> "FAULT: " ^ m
+      in
+      Printf.printf "%-14s %10s %10s %8s\n" "level" "text insns" "cycles"
+        "vs std";
+      Printf.printf "%-14s %10d %10s %8s\n" "standard"
+        (Linker.Image.insn_count std) (cycles_cell base) "-";
+      List.iter
+        (fun (level, r) ->
+          match r with
+          | Ok (image, stats, cycles) ->
+              let vs =
+                match (base, cycles) with
+                | Ok b, Ok c when b > 0 ->
+                    Printf.sprintf "%+7.2f%%"
+                      (100. *. float_of_int (b - c) /. float_of_int b)
+                | _ -> "-"
+              in
+              Printf.printf "%-14s %10d %10s %8s\n" (Om.level_name level)
+                (Linker.Image.insn_count image) (cycles_cell cycles) vs;
+              if level = Om.Full then
+                Format.printf "  %a@." Om.Stats.pp stats
+          | Error m ->
+              Printf.printf "%-14s failed: %s\n" (Om.level_name level) m)
+        levels
+    end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Link at every optimization level and compare size and cycles.")
-    Term.(const run $ files_arg)
+    Term.(const run $ files_arg $ json_flag $ trace_term)
+
+(* --- profile: per-procedure cycle attribution --- *)
+
+let find_benchmark n =
+  match Workloads.Programs.find n with
+  | Some b -> b
+  | None ->
+      failwith
+        (Printf.sprintf "unknown benchmark %s (know: %s)" n
+           (String.concat ", " Workloads.Programs.names))
+
+let profile_cmd =
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE" ~doc:"Input files (.mc sources or .o objects).")
+  in
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ] ~docv:"NAME"
+             ~doc:"Profile a suite benchmark instead of input files.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the profiles as JSON on stdout.")
+  in
+  let top =
+    Arg.(value & opt int 12
+         & info [ "top" ] ~docv:"N" ~doc:"Procedure rows to print.")
+  in
+  let run files bench json top tr =
+    handle_errors @@ fun () ->
+    with_tracing tr @@ fun () ->
+    let what, world =
+      match (bench, files) with
+      | Some n, [] -> (
+          let b = find_benchmark n in
+          match Workloads.Suite.resolve Workloads.Suite.Compile_each b with
+          | Ok w -> (n, w)
+          | Error m -> failwith m)
+      | None, (_ :: _ as files) -> (
+          let units = List.map load_unit files in
+          match Linker.Resolve.run units ~archives:[ Runtime.libstd () ] with
+          | Ok w -> (String.concat "," files, w)
+          | Error m -> failwith m)
+      | Some _, _ :: _ -> failwith "give either input files or --bench, not both"
+      | None, [] -> failwith "nothing to profile: give input files or --bench NAME"
+    in
+    let std =
+      match Linker.Link.link_resolved world with
+      | Ok i -> i
+      | Error m -> failwith m
+    in
+    let full =
+      match Om.optimize_resolved Om.Full world with
+      | Ok { Om.image; _ } -> image
+      | Error m -> failwith m
+    in
+    let profile name image =
+      match Obs.Attr.run image with
+      | Ok p -> p
+      | Error e ->
+          failwith
+            (Format.asprintf "%s: simulation fault: %a" name
+               Machine.Cpu.pp_error e)
+    in
+    let pstd = profile "standard" std in
+    let pfull = profile "om-full" full in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("schema_version", Obs.Json.Int Obs.Report.schema_version);
+                ("program", Obs.Json.String what);
+                ("standard", Obs.Attr.to_json pstd);
+                ("om-full", Obs.Attr.to_json pfull) ]))
+    else begin
+      Format.printf "%s: standard link@.%a@.@." what (Obs.Attr.pp ~top) pstd;
+      Format.printf "om-full@.%a@.@." (Obs.Attr.pp ~top) pfull;
+      Format.printf "address-calculation overhead, cycles (standard -> om-full):@.";
+      List.iter
+        (fun c ->
+          let b0 = (Obs.Attr.bucket pstd.Obs.Attr.totals c).Obs.Attr.b_cycles in
+          let b1 = (Obs.Attr.bucket pfull.Obs.Attr.totals c).Obs.Attr.b_cycles in
+          Format.printf "  %-10s %12d -> %10d  (%+.1f%%)@."
+            (Obs.Attr.category_name c) b0 b1
+            (100. *. float_of_int (b1 - b0) /. float_of_int (max 1 b0)))
+        Obs.Attr.all_categories;
+      Format.printf "  %-10s %12d -> %10d  (%+.1f%%)@." "TOTAL"
+        pstd.Obs.Attr.totals.Obs.Attr.p_cycles
+        pfull.Obs.Attr.totals.Obs.Attr.p_cycles
+        (100.
+        *. float_of_int
+             (pfull.Obs.Attr.totals.Obs.Attr.p_cycles
+             - pstd.Obs.Attr.totals.Obs.Attr.p_cycles)
+        /. float_of_int (max 1 pstd.Obs.Attr.totals.Obs.Attr.p_cycles))
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Simulate under the cycle-attribution profiler: per-procedure \
+          cycles and the paper's address-calculation categories, standard \
+          link vs OM-full.")
+    Term.(const run $ files $ bench $ json_flag $ top $ trace_term)
 
 (* --- suite --- *)
 
@@ -220,45 +433,66 @@ let suite_cmd =
     Arg.(value & opt (some string) None
          & info [ "bench" ] ~docv:"NAME" ~doc:"Run a single benchmark.")
   in
-  let run bench =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit results as schema-versioned JSON instead of text.")
+  in
+  let attr_flag =
+    Arg.(value & flag
+         & info [ "attr" ]
+             ~doc:"With --json: include dynamic cycle-attribution buckets \
+                   (one extra simulation per image).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"With --json: write the report to $(docv) instead of stdout.")
+  in
+  let run bench json attr out =
     handle_errors @@ fun () ->
     let benches =
       match bench with
-      | Some n -> (
-          match Workloads.Programs.find n with
-          | Some b -> [ b ]
-          | None ->
-              failwith
-                (Printf.sprintf "unknown benchmark %s (know: %s)" n
-                   (String.concat ", " Workloads.Programs.names)))
+      | Some n -> [ find_benchmark n ]
       | None -> Workloads.Programs.all
     in
-    List.iter
-      (fun (b : Workloads.Programs.benchmark) ->
-        List.iter
-          (fun build ->
-            match Reports.Measure.run_benchmark build b with
-            | Ok r ->
-                Printf.printf "%-10s %-12s std=%d %s agree=%b\n%!" b.name
-                  (Workloads.Suite.build_name build)
-                  r.Reports.Measure.std_cycles
-                  (String.concat " "
-                     (List.map
-                        (fun (run : Reports.Measure.run) ->
-                          Printf.sprintf "%s=%+.1f%%"
-                            (Om.level_name run.level)
-                            (Reports.Measure.improvement r run.level))
-                        r.Reports.Measure.runs))
-                  r.Reports.Measure.outputs_agree
-            | Error m ->
-                Printf.printf "%-10s %-12s ERROR %s\n%!" b.name
-                  (Workloads.Suite.build_name build) m)
-          Workloads.Suite.all_builds)
-      benches
+    let results =
+      List.concat_map
+        (fun (b : Workloads.Programs.benchmark) ->
+          List.filter_map
+            (fun build ->
+              match Reports.Measure.run_benchmark build b with
+              | Ok r ->
+                  if not json then
+                    Printf.printf "%-10s %-12s std=%d %s agree=%b\n%!" b.name
+                      (Workloads.Suite.build_name build)
+                      r.Reports.Measure.std_cycles
+                      (String.concat " "
+                         (List.map
+                            (fun (run : Reports.Measure.run) ->
+                              Printf.sprintf "%s=%+.1f%%"
+                                (Om.level_name run.level)
+                                (Reports.Measure.improvement r run.level))
+                            r.Reports.Measure.runs))
+                      r.Reports.Measure.outputs_agree;
+                  Some r
+              | Error m ->
+                  Printf.eprintf "%-10s %-12s ERROR %s\n%!" b.name
+                    (Workloads.Suite.build_name build) m;
+                  None)
+            Workloads.Suite.all_builds)
+        benches
+    in
+    if json then begin
+      let report = Reports.Report_json.of_matrix ~attribution:attr results in
+      match out with
+      | Some path -> Obs.Report.write path report
+      | None -> print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+    end
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run the SPEC92-analogue benchmark matrix.")
-    Term.(const run $ bench)
+    Term.(const run $ bench $ json_flag $ attr_flag $ out)
 
 let main =
   Cmd.group
@@ -266,6 +500,7 @@ let main =
        ~doc:
          "Link-time optimization of address calculation on a 64-bit \
           architecture (Srivastava & Wall, PLDI 1994), reproduced.")
-    [ compile_cmd; dis_cmd; run_cmd; image_cmd; stats_cmd; suite_cmd ]
+    [ compile_cmd; dis_cmd; run_cmd; image_cmd; stats_cmd; profile_cmd;
+      suite_cmd ]
 
 let () = exit (Cmd.eval main)

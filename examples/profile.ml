@@ -1,47 +1,15 @@
-(* Profile: per-procedure dynamic instruction counts via the simulator's
-   trace hook, before and after OM-full — showing where the removed
-   address-calculation overhead actually lived.
+(* Profile: per-procedure cycle attribution via Obs.Attr — where the
+   removed address-calculation overhead actually lived, by procedure and
+   by mechanism (GAT address loads, GP setups/resets, PV loads).
 
      dune exec examples/profile.exe [benchmark]   (default: li) *)
 
-let profile image =
-  let counts = Hashtbl.create 32 in
-  let bump name n =
-    Hashtbl.replace counts name (n + Option.value ~default:0 (Hashtbl.find_opt counts name))
-  in
-  (* procedure lookup by sorted entry addresses *)
-  let procs =
-    Array.copy image.Linker.Image.procs |> fun a ->
-    Array.sort (fun (x : Linker.Image.proc_info) y -> compare x.entry y.entry) a;
-    a
-  in
-  let find pc =
-    let rec bs lo hi =
-      if lo > hi then None
-      else
-        let mid = (lo + hi) / 2 in
-        let p = procs.(mid) in
-        if pc < p.entry then bs lo (mid - 1)
-        else if pc >= p.entry + p.size then bs (mid + 1) hi
-        else Some p
-    in
-    bs 0 (Array.length procs - 1)
-  in
-  match
-    Machine.Cpu.run
-      ~trace:(fun ~pc _ ->
-        match find pc with
-        | Some p -> bump p.name 1
-        | None -> bump "?" 1)
-      image
-  with
-  | Ok o ->
-      ( o.Machine.Cpu.stats.Machine.Cpu.insns,
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
-        |> List.sort (fun (_, a) (_, b) -> compare b a) )
+let profile what image =
+  match Obs.Attr.run image with
+  | Ok p -> p
   | Error e ->
-      Format.printf "FAULT %a@." Machine.Cpu.pp_error e;
-      (0, [])
+      Format.eprintf "%s: simulation fault: %a@." what Machine.Cpu.pp_error e;
+      exit 1
 
 let () =
   let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "li" in
@@ -59,19 +27,23 @@ let () =
     | Ok { Om.image; _ } -> image
     | Error m -> failwith m
   in
-  let std_total, std_counts = profile std in
-  let full_total, full_counts = profile full in
+  let pstd = profile "standard" std in
+  let pfull = profile "om-full" full in
   Printf.printf
-    "%s: dynamic instructions per procedure, standard link vs OM-full\n\n"
-    bench;
-  Printf.printf "%-16s %12s %12s %9s\n" "procedure" "standard" "om-full" "saved";
-  List.iteri
-    (fun i (name, n) ->
-      if i < 12 then begin
-        let after = Option.value ~default:0 (List.assoc_opt name full_counts) in
-        Printf.printf "%-16s %12d %12d %8.1f%%\n" name n after
-          (100. *. float_of_int (n - after) /. float_of_int (max 1 n))
-      end)
-    std_counts;
-  Printf.printf "%-16s %12d %12d %8.1f%%\n" "TOTAL" std_total full_total
-    (100. *. float_of_int (std_total - full_total) /. float_of_int (max 1 std_total))
+    "%s: per-procedure cycle attribution, standard link vs OM-full\n\n" bench;
+  Format.printf "standard link@.%a@.@." (Obs.Attr.pp ~top:12) pstd;
+  Format.printf "om-full@.%a@.@." (Obs.Attr.pp ~top:12) pfull;
+  (* the paper's story in four lines: which mechanism paid for what *)
+  Format.printf "cycles by address-calculation mechanism:@.";
+  List.iter
+    (fun c ->
+      let b0 = (Obs.Attr.bucket pstd.Obs.Attr.totals c).Obs.Attr.b_cycles in
+      let b1 = (Obs.Attr.bucket pfull.Obs.Attr.totals c).Obs.Attr.b_cycles in
+      Format.printf "  %-10s %12d -> %10d  (%+.1f%%)@."
+        (Obs.Attr.category_name c) b0 b1
+        (100. *. float_of_int (b1 - b0) /. float_of_int (max 1 b0)))
+    Obs.Attr.all_categories;
+  let t0 = pstd.Obs.Attr.totals.Obs.Attr.p_cycles in
+  let t1 = pfull.Obs.Attr.totals.Obs.Attr.p_cycles in
+  Format.printf "  %-10s %12d -> %10d  (%+.1f%%)@." "TOTAL" t0 t1
+    (100. *. float_of_int (t1 - t0) /. float_of_int (max 1 t0))

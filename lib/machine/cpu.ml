@@ -53,6 +53,14 @@ let pp_error ppf = function
   | Heap_exhausted -> Format.fprintf ppf "heap exhausted"
   | Insn_limit_reached -> Format.fprintf ppf "instruction limit reached"
 
+type probe_event = {
+  ev_pc : int;
+  ev_insn : Isa.Insn.t;
+  ev_cycles : int;
+  ev_icache_miss : bool;
+  ev_dcache_miss : bool;
+}
+
 exception Fault of error
 
 module R = Isa.Reg
@@ -167,7 +175,7 @@ let syscall m =
       None
   | v -> raise (Fault (Bad_syscall v))
 
-let run ?(config = default_config) ?trace (image : Linker.Image.t) =
+let run ?(config = default_config) ?trace ?probe (image : Linker.Image.t) =
   let code =
     match Isa.Decode.of_bytes image.Linker.Image.text with
     | Ok is -> Array.of_list is
@@ -224,6 +232,10 @@ let run ?(config = default_config) ?trace (image : Linker.Image.t) =
          (match trace with Some f -> f ~pc:!pc insn | None -> ());
          m.ninsns <- m.ninsns + 1;
          if I.is_nop insn then m.nops <- m.nops + 1;
+         let issue0 = !last_issue in
+         let dmiss0 =
+           match probe with Some _ -> Cache.misses m.dcache | None -> 0
+         in
          (* --- timing --- *)
          let fetch_penalty =
            if Cache.access m.icache !pc then 0 else config.icache_miss_penalty
@@ -298,6 +310,15 @@ let run ?(config = default_config) ?trace (image : Linker.Image.t) =
            || (match insn with I.Call_pal _ -> true | _ -> false);
          last_issue :=
            if !taken then issue + config.branch_penalty else issue;
+         (match probe with
+         | Some f ->
+             f
+               { ev_pc = !last_pc;
+                 ev_insn = insn;
+                 ev_cycles = !last_issue - issue0;
+                 ev_icache_miss = fetch_penalty > 0;
+                 ev_dcache_miss = Cache.misses m.dcache > dmiss0 }
+         | None -> ());
          pc := !next_pc
        done;
        Ok

@@ -53,10 +53,24 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+type probe_event = {
+  ev_pc : int;
+  ev_insn : Isa.Insn.t;
+  ev_cycles : int;
+      (** cycles this instruction added to the critical path: issue-slot
+          advance plus any taken-branch penalty. Summing [ev_cycles] over a
+          run reproduces {!stats.cycles} exactly. *)
+  ev_icache_miss : bool;
+  ev_dcache_miss : bool;
+}
+
 val run :
-  ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) -> Linker.Image.t ->
+  ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
+  ?probe:(probe_event -> unit) -> Linker.Image.t ->
   (outcome, error) result
 (** Boot the image ([pc] and [pv] at the entry point, [sp] near the stack
     top) and run until the exit system call. [trace] is invoked before each
     instruction executes — the hook behind execution profiling and
-    debugging tools. *)
+    debugging tools. [probe] is invoked after each instruction retires with
+    its timing attribution; when absent (the default) the timing loop is
+    unchanged. *)

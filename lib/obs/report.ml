@@ -1,0 +1,210 @@
+let schema_version = 1
+
+type bucket = { insns : int; cycles : int }
+type attribution = (string * bucket) list
+
+type run = {
+  level : string;
+  cycles : int;
+  insns : int;
+  improvement_pct : float;
+  counters : (string * int) list;
+  attribution : attribution option;
+  fault : string option;
+}
+
+type bench = {
+  bench : string;
+  build : string;
+  std_cycles : int;
+  std_insns : int;
+  std_attribution : attribution option;
+  std_fault : string option;
+  outputs_agree : bool;
+  runs : run list;
+}
+
+type t = {
+  version : int;
+  tool : string;
+  results : bench list;
+}
+
+let make ?(tool = "omlt") results = { version = schema_version; tool; results }
+
+let attribution_of_profile (p : Attr.t) =
+  List.map
+    (fun c ->
+      let b = Attr.bucket p.Attr.totals c in
+      (Attr.category_name c, { insns = b.Attr.b_insns; cycles = b.Attr.b_cycles }))
+    Attr.all_categories
+
+(* --- to json --- *)
+
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+
+let attribution_json = function
+  | None -> Json.Null
+  | Some a ->
+      Json.Obj
+        (List.map
+           (fun (name, (b : bucket)) ->
+             ( name,
+               Json.Obj
+                 [ ("insns", Json.Int b.insns); ("cycles", Json.Int b.cycles) ]
+             ))
+           a)
+
+let run_json r =
+  Json.Obj
+    [ ("level", Json.String r.level);
+      ("cycles", Json.Int r.cycles);
+      ("insns", Json.Int r.insns);
+      ("improvement_pct", Json.Float r.improvement_pct);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
+      ("attribution", attribution_json r.attribution);
+      ("fault", opt_string r.fault) ]
+
+let bench_json b =
+  Json.Obj
+    [ ("bench", Json.String b.bench);
+      ("build", Json.String b.build);
+      ("std_cycles", Json.Int b.std_cycles);
+      ("std_insns", Json.Int b.std_insns);
+      ("std_attribution", attribution_json b.std_attribution);
+      ("std_fault", opt_string b.std_fault);
+      ("outputs_agree", Json.Bool b.outputs_agree);
+      ("runs", Json.List (List.map run_json b.runs)) ]
+
+let to_json t =
+  Json.Obj
+    [ ("schema_version", Json.Int t.version);
+      ("tool", Json.String t.tool);
+      ("results", Json.List (List.map bench_json t.results)) ]
+
+(* --- from json --- *)
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let opt_string_of j name =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.get_string v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let attribution_of_json name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Obj fields) ->
+      let* buckets =
+        List.fold_left
+          (fun acc (cat, v) ->
+            let* acc = acc in
+            let* insns = field "insns" Json.get_int v in
+            let* cycles = field "cycles" Json.get_int v in
+            Ok ((cat, { insns; cycles }) :: acc))
+          (Ok []) fields
+      in
+      Ok (Some (List.rev buckets))
+  | Some _ -> Error (Printf.sprintf "field %S has the wrong type" name)
+
+let counters_of_json j =
+  match Json.member "counters" j with
+  | None -> Ok []
+  | Some (Json.Obj fields) ->
+      let* kv =
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match Json.get_int v with
+            | Some n -> Ok ((k, n) :: acc)
+            | None -> Error (Printf.sprintf "counter %S is not an int" k))
+          (Ok []) fields
+      in
+      Ok (List.rev kv)
+  | Some _ -> Error "field \"counters\" has the wrong type"
+
+let run_of_json j =
+  let* level = field "level" Json.get_string j in
+  let* cycles = field "cycles" Json.get_int j in
+  let* insns = field "insns" Json.get_int j in
+  let* improvement_pct = field "improvement_pct" Json.get_float j in
+  let* counters = counters_of_json j in
+  let* attribution = attribution_of_json "attribution" j in
+  let* fault = opt_string_of j "fault" in
+  Ok { level; cycles; insns; improvement_pct; counters; attribution; fault }
+
+let bench_of_json j =
+  let* bench = field "bench" Json.get_string j in
+  let* build = field "build" Json.get_string j in
+  let* std_cycles = field "std_cycles" Json.get_int j in
+  let* std_insns = field "std_insns" Json.get_int j in
+  let* std_attribution = attribution_of_json "std_attribution" j in
+  let* std_fault = opt_string_of j "std_fault" in
+  let* outputs_agree = field "outputs_agree" Json.get_bool j in
+  let* run_list = field "runs" Json.get_list j in
+  let* runs =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* r = run_of_json r in
+        Ok (r :: acc))
+      (Ok []) run_list
+  in
+  Ok
+    { bench;
+      build;
+      std_cycles;
+      std_insns;
+      std_attribution;
+      std_fault;
+      outputs_agree;
+      runs = List.rev runs }
+
+let of_json j =
+  let* version = field "schema_version" Json.get_int j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "unsupported schema_version %d (this reader speaks %d)"
+         version schema_version)
+  else
+    let* tool = field "tool" Json.get_string j in
+    let* result_list = field "results" Json.get_list j in
+    let* results =
+      List.fold_left
+        (fun acc b ->
+          let* acc = acc in
+          let* b = bench_of_json b in
+          Ok (b :: acc))
+        (Ok []) result_list
+    in
+    Ok { version; tool; results = List.rev results }
+
+(* --- files --- *)
+
+let write path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n'
+
+let read path =
+  let* text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      Ok (really_input_string ic (in_channel_length ic))
+    with Sys_error m -> Error m
+  in
+  let* j = Json.parse text in
+  of_json j

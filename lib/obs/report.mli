@@ -1,0 +1,59 @@
+(** Machine-readable suite reports.
+
+    A versioned JSON schema for benchmark-matrix results: per benchmark
+    and build style, the standard link's cycle count plus one record per
+    optimization level with cycles, static size, optimizer counters, and
+    (optionally) the dynamic cycle-attribution buckets from {!Attr}. The
+    bench harness writes [BENCH_report.json] in this schema and
+    [omlink suite --json] prints it, so downstream tooling (and future
+    PRs tracking the perf trajectory) parse one format.
+
+    The schema is deliberately self-describing: {!of_json} refuses
+    documents whose [schema_version] it does not understand, and
+    {!to_json}/{!of_json} round-trip exactly. *)
+
+val schema_version : int
+
+type bucket = { insns : int; cycles : int }
+
+type attribution = (string * bucket) list
+(** category name (see {!Attr.category_name}) -> dynamic cost *)
+
+type run = {
+  level : string;            (** {!Om.level_name}, e.g. ["om-full"] *)
+  cycles : int;
+  insns : int;               (** static text instructions *)
+  improvement_pct : float;   (** dynamic cycles vs the standard link *)
+  counters : (string * int) list;  (** optimizer statistics, flat *)
+  attribution : attribution option;
+  fault : string option;     (** simulation fault, when the run died *)
+}
+
+type bench = {
+  bench : string;
+  build : string;
+  std_cycles : int;
+  std_insns : int;
+  std_attribution : attribution option;
+  std_fault : string option;
+  outputs_agree : bool;
+  runs : run list;
+}
+
+type t = {
+  version : int;
+  tool : string;
+  results : bench list;
+}
+
+val make : ?tool:string -> bench list -> t
+(** [tool] defaults to ["omlt"]. [version] is {!schema_version}. *)
+
+val attribution_of_profile : Attr.t -> attribution
+(** The whole-program category buckets of a profile. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val write : string -> t -> unit
+val read : string -> (t, string) result

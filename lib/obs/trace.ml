@@ -1,0 +1,96 @@
+type span = {
+  name : string;
+  depth : int;
+  start_us : float;
+  dur_us : float;
+  counters : (string * int) list;
+}
+
+type collector = {
+  mutable recorded : span list;  (* reverse start order *)
+  mutable depth : int;
+  t0 : float;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let collector () = { recorded = []; depth = 0; t0 = now_us () }
+
+let spans c =
+  (* recorded holds spans in completion order; sort back to start order *)
+  List.sort
+    (fun a b -> compare (a.start_us, a.depth) (b.start_us, b.depth))
+    (List.rev c.recorded)
+
+let current : collector option ref = ref None
+let install c = current := c
+let active () = Option.is_some !current
+
+let span ?counters name f =
+  match !current with
+  | None -> f ()
+  | Some c ->
+      let depth = c.depth in
+      c.depth <- depth + 1;
+      let start = now_us () in
+      let finish () =
+        let dur_us = now_us () -. start in
+        c.depth <- depth;
+        let counters =
+          match counters with None -> [] | Some g -> ( try g () with _ -> [])
+        in
+        c.recorded <-
+          { name; depth; start_us = start -. c.t0; dur_us; counters }
+          :: c.recorded
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let with_collector f =
+  let saved = !current in
+  let c = collector () in
+  current := Some c;
+  Fun.protect ~finally:(fun () -> current := saved) @@ fun () ->
+  let v = f () in
+  (c, v)
+
+let to_chrome_json c =
+  Json.List
+    (List.map
+       (fun (s : span) ->
+         let base =
+           [ ("name", Json.String s.name);
+             ("cat", Json.String "om");
+             ("ph", Json.String "X");
+             ("ts", Json.Float s.start_us);
+             ("dur", Json.Float s.dur_us);
+             ("pid", Json.Int 1);
+             ("tid", Json.Int 1) ]
+         in
+         let args =
+           match s.counters with
+           | [] -> []
+           | kv ->
+               [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kv)) ]
+         in
+         Json.Obj (base @ args))
+       (spans c))
+
+let pp_summary ppf c =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (s : span) ->
+      Format.fprintf ppf "%s%-*s %9.3f ms" (String.make (2 * s.depth) ' ')
+        (max 1 (28 - (2 * s.depth)))
+        s.name (s.dur_us /. 1000.);
+      List.iter
+        (fun (k, v) -> if v <> 0 then Format.fprintf ppf "  %s=%d" k v)
+        s.counters;
+      Format.fprintf ppf "@,")
+    (spans c);
+  Format.fprintf ppf "@]"

@@ -43,14 +43,26 @@ let planned_full_gat ~addr_opt (program : S.program) =
       | _ -> ());
   Hashtbl.length keys
 
+(* Trace counters: the delta a pass left in [stats] since the last
+   snapshot. Nonzero entries only — most passes touch a few fields. *)
+let stats_delta stats snapshot () =
+  let now = Stats.to_alist stats in
+  let delta =
+    List.map2 (fun (k, before) (_, after) -> (k, after - before)) !snapshot now
+    |> List.filter (fun (_, d) -> d <> 0)
+  in
+  snapshot := now;
+  delta
+
 let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
+  Obs.Trace.span ("om:" ^ level_name level) @@ fun () ->
   let topts =
     Option.value transform_options ~default:Transform.default_options
   in
-  match Lift.run world with
+  match Obs.Trace.span "lift" (fun () -> Lift.run world) with
   | Error m -> Error ("om: lift: " ^ m)
   | Ok program -> (
-      let merged = Linker.Gat.merge world in
+      let merged = Obs.Trace.span "gat-merge" (fun () -> Linker.Gat.merge world) in
       let merged_group_bytes =
         Array.init merged.Linker.Gat.ngroups (fun g ->
             let first = merged.Linker.Gat.group_first_slot.(g) in
@@ -62,6 +74,7 @@ let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
             8 * (next - first))
       in
       let plan =
+        Obs.Trace.span "datalayout" @@ fun () ->
         match level with
         | No_opt | Simple ->
             Datalayout.plan world
@@ -87,29 +100,43 @@ let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
       in
       let stats = Stats.create () in
       stats.Stats.gat_bytes_before <- Linker.Gat.size_bytes merged;
+      let snapshot = ref (Stats.to_alist stats) in
+      let counters = stats_delta stats snapshot in
       (match level with
       | No_opt ->
           stats.Stats.insns_before <- S.static_insn_count program;
           stats.Stats.insns_after <- stats.Stats.insns_before
       | Simple ->
-          ignore (Transform.run ~options:topts Transform.Simple program plan stats)
+          Obs.Trace.span ~counters "transform:simple" (fun () ->
+              ignore
+                (Transform.run ~options:topts Transform.Simple program plan
+                   stats))
       | Full ->
-          ignore (Transform.run ~options:topts Transform.Full program plan stats)
+          Obs.Trace.span ~counters "transform:full" (fun () ->
+              ignore
+                (Transform.run ~options:topts Transform.Full program plan
+                   stats))
       | Full_sched ->
-          ignore (Transform.run ~options:topts Transform.Full program plan stats);
-          Sched.run program);
+          Obs.Trace.span ~counters "transform:full" (fun () ->
+              ignore
+                (Transform.run ~options:topts Transform.Full program plan
+                   stats));
+          Obs.Trace.span "sched" (fun () -> Sched.run program));
       let options =
         { Lower.align_branch_targets = (level = Full_sched) }
       in
-      match Lower.run ~options program plan with
+      match Obs.Trace.span "lower" (fun () -> Lower.run ~options program plan)
+      with
       | Error m -> Error ("om: lower: " ^ m)
       | Ok (image, gat_used) -> (
           stats.Stats.gat_bytes_after <- gat_used;
           (* a second pair of eyes over the rewritten bytes *)
-          match Verify.check image with
+          match Obs.Trace.span "verify" (fun () -> Verify.check image) with
           | Ok () -> Ok { image; stats }
           | Error m -> Error ("om: verify: " ^ m)))
 
 let link ?(level = Full) ?entry units ~archives =
-  Result.bind (Linker.Resolve.run ?entry units ~archives) (fun world ->
-      optimize_resolved level world)
+  Result.bind
+    (Obs.Trace.span "resolve" (fun () ->
+         Linker.Resolve.run ?entry units ~archives))
+    (fun world -> optimize_resolved level world)

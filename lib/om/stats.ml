@@ -75,6 +75,26 @@ let frac_insns_nullified t =
     float_of_int (t.nops_added + t.insns_deleted)
     /. float_of_int t.insns_before
 
+let to_alist t =
+  [ ("insns_before", t.insns_before);
+    ("insns_after", t.insns_after);
+    ("nops_added", t.nops_added);
+    ("insns_deleted", t.insns_deleted);
+    ("addr_loads", t.addr_loads);
+    ("addr_converted", t.addr_converted);
+    ("addr_nullified", t.addr_nullified);
+    ("const_loads", t.const_loads);
+    ("calls", t.calls);
+    ("calls_pv_before", t.calls_pv_before);
+    ("calls_pv_after", t.calls_pv_after);
+    ("calls_reset_before", t.calls_reset_before);
+    ("calls_reset_after", t.calls_reset_after);
+    ("jsr_before", t.jsr_before);
+    ("jsr_after", t.jsr_after);
+    ("gp_setups_deleted", t.gp_setups_deleted);
+    ("gat_bytes_before", t.gat_bytes_before);
+    ("gat_bytes_after", t.gat_bytes_after) ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>insns: %d -> %d (%d nop'd, %d deleted)@,\

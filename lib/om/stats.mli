@@ -41,4 +41,8 @@ val frac_addr_removed : t -> float * float
 val frac_insns_nullified : t -> float
 (** (nops added + deleted) / static instructions before. *)
 
+val to_alist : t -> (string * int) list
+(** Every field, in declaration order, under stable snake_case names —
+    the flat form trace counters and JSON reports carry. *)
+
 val pp : Format.formatter -> t -> unit

@@ -4,6 +4,7 @@ type run = {
   cycles : int;
   insns : int;
   output : string;
+  image : Linker.Image.t;
 }
 
 type result = {
@@ -12,6 +13,7 @@ type result = {
   std_cycles : int;
   std_insns : int;
   std_output : string;
+  std_image : Linker.Image.t;
   runs : run list;
   outputs_agree : bool;
 }
@@ -36,7 +38,7 @@ let run_benchmark ?(levels = Om.all_levels) build (b : Workloads.Programs.benchm
         let* acc = acc in
         let* { Om.image; stats } = Om.optimize_resolved level world in
         let* cycles, insns, output = run_image image in
-        Ok ({ level; stats; cycles; insns; output } :: acc))
+        Ok ({ level; stats; cycles; insns; output; image } :: acc))
       (Ok []) levels
   in
   let runs = List.rev runs in
@@ -46,6 +48,7 @@ let run_benchmark ?(levels = Om.all_levels) build (b : Workloads.Programs.benchm
       std_cycles;
       std_insns;
       std_output;
+      std_image = std;
       runs;
       outputs_agree =
         List.for_all (fun r -> String.equal r.output std_output) runs }

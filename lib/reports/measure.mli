@@ -11,6 +11,7 @@ type run = {
   cycles : int;
   insns : int;
   output : string;
+  image : Linker.Image.t;   (** kept for post-hoc profiling/attribution *)
 }
 
 type result = {
@@ -19,6 +20,7 @@ type result = {
   std_cycles : int;
   std_insns : int;
   std_output : string;
+  std_image : Linker.Image.t;
   runs : run list;          (** one per {!Om.all_levels} *)
   outputs_agree : bool;
 }

@@ -1,0 +1,28 @@
+let profile_buckets image =
+  match Obs.Attr.run image with
+  | Ok p -> Some (Obs.Report.attribution_of_profile p)
+  | Error _ -> None
+
+let of_result ?(attribution = false) (r : Measure.result) =
+  let attr image = if attribution then profile_buckets image else None in
+  { Obs.Report.bench = r.Measure.bench;
+    build = Workloads.Suite.build_name r.Measure.build;
+    std_cycles = r.Measure.std_cycles;
+    std_insns = r.Measure.std_insns;
+    std_attribution = attr r.Measure.std_image;
+    std_fault = None;
+    outputs_agree = r.Measure.outputs_agree;
+    runs =
+      List.map
+        (fun (run : Measure.run) ->
+          { Obs.Report.level = Om.level_name run.Measure.level;
+            cycles = run.Measure.cycles;
+            insns = run.Measure.insns;
+            improvement_pct = Measure.improvement r run.Measure.level;
+            counters = Om.Stats.to_alist run.Measure.stats;
+            attribution = attr run.Measure.image;
+            fault = None })
+        r.Measure.runs }
+
+let of_matrix ?attribution ?tool results =
+  Obs.Report.make ?tool (List.map (of_result ?attribution) results)

@@ -1,0 +1,13 @@
+(** Bridging measured results into the {!Obs.Report} schema.
+
+    {!Measure} produces rich in-memory results (with live images);
+    {!Obs.Report} is the flat, versioned wire format. This module folds
+    one into the other, optionally re-running each image under the
+    {!Obs.Attr} profiler to fill in the dynamic attribution buckets. *)
+
+val of_result : ?attribution:bool -> Measure.result -> Obs.Report.bench
+(** [attribution] (default [false]) profiles the standard image and every
+    level's image — one extra simulation each. *)
+
+val of_matrix :
+  ?attribution:bool -> ?tool:string -> Measure.result list -> Obs.Report.t

@@ -1,0 +1,374 @@
+(* The observability layer: JSON round-trips, span tracing, cycle
+   attribution, and the versioned suite-report schema. *)
+
+let json = Alcotest.testable (Fmt.of_to_string Obs.Json.to_string) ( = )
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.Obj
+      [ ("null", Obs.Json.Null);
+        ("yes", Obs.Json.Bool true);
+        ("n", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 3.25);
+        ("big", Obs.Json.Float 1.5e300);
+        ("s", Obs.Json.String "a \"quoted\"\nline\twith \\ and \x01 ctrl");
+        ("empty_list", Obs.Json.List []);
+        ("empty_obj", Obs.Json.Obj []);
+        ( "nested",
+          Obs.Json.List
+            [ Obs.Json.Int 1;
+              Obs.Json.Obj [ ("k", Obs.Json.List [ Obs.Json.Bool false ]) ] ]
+        ) ]
+  in
+  List.iter
+    (fun minify ->
+      match Obs.Json.parse (Obs.Json.to_string ~minify doc) with
+      | Ok parsed -> Alcotest.check json "round-trips" doc parsed
+      | Error m -> Alcotest.failf "parse failed: %s" m)
+    [ true; false ]
+
+let test_json_parse () =
+  let ok s v =
+    match Obs.Json.parse s with
+    | Ok p -> Alcotest.check json s v p
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok "[1, 2.5, -3]"
+    (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float 2.5; Obs.Json.Int (-3) ]);
+  ok {|"Aé☃"|} (Obs.Json.String "A\xc3\xa9\xe2\x98\x83");
+  ok {|"😀"|} (Obs.Json.String "\xf0\x9f\x98\x80");
+  ok "1e3" (Obs.Json.Float 1000.);
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "nul" ]
+
+(* --- Trace --- *)
+
+let test_trace_disabled () =
+  Alcotest.(check bool) "no ambient collector" false (Obs.Trace.active ());
+  Alcotest.(check int) "span is transparent" 7
+    (Obs.Trace.span "x" (fun () -> 7))
+
+let test_trace_spans () =
+  let c, v =
+    Obs.Trace.with_collector (fun () ->
+        Obs.Trace.span "outer" (fun () ->
+            Obs.Trace.span
+              ~counters:(fun () -> [ ("k", 3); ("zero", 0) ])
+              "inner"
+              (fun () -> 1 + 1)))
+  in
+  Alcotest.(check int) "value" 2 v;
+  Alcotest.(check bool) "collector uninstalled after" false
+    (Obs.Trace.active ());
+  let spans = Obs.Trace.spans c in
+  Alcotest.(check (list string)) "names in start order" [ "outer"; "inner" ]
+    (List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.name) spans);
+  Alcotest.(check (list int)) "depths" [ 0; 1 ]
+    (List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.depth) spans);
+  let inner = List.nth spans 1 in
+  Alcotest.(check (list (pair string int))) "counters" [ ("k", 3); ("zero", 0) ]
+    inner.Obs.Trace.counters
+
+let test_trace_chrome_json () =
+  (* trace a real OM link, export, and re-parse the trace-event JSON *)
+  let unit =
+    Testutil.compile
+      {|
+func main() { io_put_labeled("x", 41 + 1); return 0; }
+|}
+  in
+  let c, _ = Obs.Trace.with_collector (fun () -> Testutil.om_link [ unit ]) in
+  Alcotest.(check bool) "recorded pipeline spans" true
+    (List.length (Obs.Trace.spans c) >= 5);
+  let text = Obs.Json.to_string (Obs.Trace.to_chrome_json c) in
+  match Obs.Json.parse text with
+  | Error m -> Alcotest.failf "chrome trace does not re-parse: %s" m
+  | Ok (Obs.Json.List events) ->
+      Alcotest.(check bool) "has events" true (List.length events >= 5);
+      List.iter
+        (fun ev ->
+          let str name =
+            Option.bind (Obs.Json.member name ev) Obs.Json.get_string
+          in
+          let num name =
+            Option.bind (Obs.Json.member name ev) Obs.Json.get_float
+          in
+          Alcotest.(check (option string)) "ph" (Some "X") (str "ph");
+          Alcotest.(check bool) "has name" true (str "name" <> None);
+          Alcotest.(check bool) "ts >= 0" true
+            (match num "ts" with Some t -> t >= 0. | None -> false);
+          Alcotest.(check bool) "dur >= 0" true
+            (match num "dur" with Some d -> d >= 0. | None -> false))
+        events;
+      let names =
+        List.filter_map
+          (fun ev -> Option.bind (Obs.Json.member "name" ev) Obs.Json.get_string)
+          events
+      in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) (expected ^ " span present") true
+            (List.mem expected names))
+        [ "om:om-full"; "lift"; "transform:full"; "lower"; "verify" ]
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+(* --- Attr --- *)
+
+(* Two procedures with very different dynamic weight: [work] burns the
+   cycles walking a global table; [main] only calls it a few times. *)
+let two_proc_src =
+  {|
+var table[512];
+var acc = 0;
+
+func work(rounds) {
+  var i = 0;
+  while (i < rounds) {
+    var j = 0;
+    while (j < 512) { table[j] = table[j] + i; j = j + 1; }
+    acc = acc + table[i & 511];
+    i = i + 1;
+  }
+  return acc;
+}
+
+func main() {
+  io_put_labeled("acc", work(20));
+  return 0;
+}
+|}
+
+let two_proc_world () =
+  match
+    Linker.Resolve.run
+      [ Testutil.compile two_proc_src ]
+      ~archives:[ Runtime.libstd () ]
+  with
+  | Ok w -> w
+  | Error m -> Alcotest.failf "resolve failed: %s" m
+
+let profile image =
+  match Obs.Attr.run image with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "profile fault: %a" Machine.Cpu.pp_error e
+
+let test_attr_two_procs () =
+  let world = two_proc_world () in
+  let std =
+    match Linker.Link.link_resolved world with
+    | Ok i -> i
+    | Error m -> Alcotest.failf "std link: %s" m
+  in
+  let p = profile std in
+  (* counts land on the right proc_info *)
+  let work =
+    match Obs.Attr.proc p "work" with
+    | Some w -> w
+    | None -> Alcotest.fail "no profile for work"
+  in
+  let main =
+    match Obs.Attr.proc p "main" with
+    | Some m -> m
+    | None -> Alcotest.fail "no profile for main"
+  in
+  Alcotest.(check bool) "work dominates main" true
+    (work.Obs.Attr.p_cycles > 10 * main.Obs.Attr.p_cycles);
+  Alcotest.(check bool) "every pc mapped to a procedure" true
+    (Obs.Attr.proc p "?" = None);
+  (* per-procedure tallies are a partition of the run *)
+  let sum f = List.fold_left (fun acc q -> acc + f q) 0 p.Obs.Attr.procs in
+  Alcotest.(check int) "insns partition"
+    p.Obs.Attr.cpu.Machine.Cpu.insns
+    (sum (fun q -> q.Obs.Attr.p_insns));
+  Alcotest.(check int) "insns total"
+    p.Obs.Attr.cpu.Machine.Cpu.insns p.Obs.Attr.totals.Obs.Attr.p_insns;
+  Alcotest.(check int) "cycles partition"
+    p.Obs.Attr.cpu.Machine.Cpu.cycles
+    (sum (fun q -> q.Obs.Attr.p_cycles));
+  Alcotest.(check int) "cycles total"
+    p.Obs.Attr.cpu.Machine.Cpu.cycles p.Obs.Attr.totals.Obs.Attr.p_cycles;
+  Alcotest.(check int) "icache misses total"
+    p.Obs.Attr.cpu.Machine.Cpu.icache_misses p.Obs.Attr.totals.Obs.Attr.p_imiss;
+  Alcotest.(check int) "dcache misses total"
+    p.Obs.Attr.cpu.Machine.Cpu.dcache_misses p.Obs.Attr.totals.Obs.Attr.p_dmiss;
+  (* category buckets partition each procedure *)
+  List.iter
+    (fun q ->
+      let cat_insns =
+        List.fold_left
+          (fun acc c -> acc + (Obs.Attr.bucket q c).Obs.Attr.b_insns)
+          0 Obs.Attr.all_categories
+      in
+      Alcotest.(check int)
+        (q.Obs.Attr.pname ^ " buckets partition its insns")
+        q.Obs.Attr.p_insns cat_insns)
+    p.Obs.Attr.procs;
+  (* the standard link of a global-heavy loop pays real GAT overhead *)
+  Alcotest.(check bool) "std has address loads" true
+    ((Obs.Attr.bucket work Obs.Attr.Addr_load).Obs.Attr.b_insns > 0);
+  Alcotest.(check bool) "std has gp setups" true
+    ((Obs.Attr.bucket p.Obs.Attr.totals Obs.Attr.Gp_setup).Obs.Attr.b_insns > 0)
+
+let test_attr_full_shrinks_overhead () =
+  let world = two_proc_world () in
+  let std =
+    match Linker.Link.link_resolved world with
+    | Ok i -> i
+    | Error m -> Alcotest.failf "std link: %s" m
+  in
+  let full =
+    match Om.optimize_resolved Om.Full world with
+    | Ok { Om.image; _ } -> image
+    | Error m -> Alcotest.failf "om-full: %s" m
+  in
+  let p0 = profile std in
+  let p1 = profile full in
+  Alcotest.(check string) "outputs agree" p0.Obs.Attr.output p1.Obs.Attr.output;
+  let overhead p =
+    List.fold_left
+      (fun acc c -> acc + (Obs.Attr.bucket p.Obs.Attr.totals c).Obs.Attr.b_cycles)
+      0
+      [ Obs.Attr.Addr_load; Obs.Attr.Gp_setup; Obs.Attr.Pv_load ]
+  in
+  Alcotest.(check bool) "om-full shrinks address-calculation cycles" true
+    (overhead p1 < overhead p0)
+
+(* --- probe consistency (the machine-level contract Attr relies on) --- *)
+
+let test_probe_sums () =
+  let image = Testutil.link_std [ Testutil.compile two_proc_src ] in
+  let cycles = ref 0 in
+  let insns = ref 0 in
+  let imiss = ref 0 in
+  let dmiss = ref 0 in
+  let o =
+    match
+      Machine.Cpu.run
+        ~probe:(fun ev ->
+          incr insns;
+          cycles := !cycles + ev.Machine.Cpu.ev_cycles;
+          if ev.Machine.Cpu.ev_icache_miss then incr imiss;
+          if ev.Machine.Cpu.ev_dcache_miss then incr dmiss)
+        image
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "fault: %a" Machine.Cpu.pp_error e
+  in
+  Alcotest.(check int) "probe insns" o.Machine.Cpu.stats.Machine.Cpu.insns !insns;
+  Alcotest.(check int) "probe cycles sum to stats.cycles"
+    o.Machine.Cpu.stats.Machine.Cpu.cycles !cycles;
+  Alcotest.(check int) "probe icache misses"
+    o.Machine.Cpu.stats.Machine.Cpu.icache_misses !imiss;
+  Alcotest.(check int) "probe dcache misses"
+    o.Machine.Cpu.stats.Machine.Cpu.dcache_misses !dmiss
+
+(* --- Report --- *)
+
+let sample_report () =
+  Obs.Report.make ~tool:"test"
+    [ { Obs.Report.bench = "two_proc";
+        build = "compile-each";
+        std_cycles = 123456;
+        std_insns = 789;
+        std_attribution =
+          Some
+            [ ("addr_load", { Obs.Report.insns = 10; cycles = 31 });
+              ("other", { Obs.Report.insns = 700; cycles = 900 }) ];
+        std_fault = None;
+        outputs_agree = true;
+        runs =
+          [ { Obs.Report.level = "om-full";
+              cycles = 100000;
+              insns = 700;
+              improvement_pct = 19.0;
+              counters = [ ("addr_loads", 14); ("gp_setups_deleted", 6) ];
+              attribution = None;
+              fault = None };
+            { Obs.Report.level = "om-full+sched";
+              cycles = 0;
+              insns = 0;
+              improvement_pct = 0.;
+              counters = [];
+              attribution = None;
+              fault = Some "heap exhausted" } ] } ]
+
+let test_report_roundtrip () =
+  let r = sample_report () in
+  let path = Filename.temp_file "obs_report" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Report.write path r;
+  match Obs.Report.read path with
+  | Error m -> Alcotest.failf "read failed: %s" m
+  | Ok r' ->
+      Alcotest.check json "report round-trips" (Obs.Report.to_json r)
+        (Obs.Report.to_json r')
+
+let test_report_rejects_future_schema () =
+  match
+    Obs.Report.of_json
+      (Obs.Json.Obj
+         [ ("schema_version", Obs.Json.Int (Obs.Report.schema_version + 1));
+           ("tool", Obs.Json.String "t");
+           ("results", Obs.Json.List []) ])
+  with
+  | Ok _ -> Alcotest.fail "accepted an unknown schema version"
+  | Error m ->
+      Alcotest.(check bool) "error names the version" true
+        (Astring.String.is_infix ~affix:"schema_version" m)
+
+let test_suite_json_roundtrip () =
+  (* the exact path behind [omlink suite --json]: measure, convert, print,
+     re-read through the schema reader *)
+  let b =
+    match Workloads.Programs.find "compress" with
+    | Some b -> b
+    | None -> Alcotest.fail "compress benchmark missing"
+  in
+  let r =
+    match Reports.Measure.run_benchmark Workloads.Suite.Compile_each b with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "measure failed: %s" m
+  in
+  let report = Reports.Report_json.of_matrix ~attribution:true [ r ] in
+  let text = Obs.Json.to_string (Obs.Report.to_json report) in
+  match Result.bind (Obs.Json.parse text) Obs.Report.of_json with
+  | Error m -> Alcotest.failf "round-trip failed: %s" m
+  | Ok report' -> (
+      Alcotest.check json "suite report round-trips"
+        (Obs.Report.to_json report)
+        (Obs.Report.to_json report');
+      let bench = List.hd report'.Obs.Report.results in
+      Alcotest.(check string) "bench name" "compress" bench.Obs.Report.bench;
+      Alcotest.(check int) "level rows" (List.length Om.all_levels)
+        (List.length bench.Obs.Report.runs);
+      match bench.Obs.Report.std_attribution with
+      | None -> Alcotest.fail "attribution missing"
+      | Some buckets ->
+          Alcotest.(check bool) "every category present" true
+            (List.for_all
+               (fun c -> List.mem_assoc (Obs.Attr.category_name c) buckets)
+               Obs.Attr.all_categories))
+
+let suite =
+  ( "obs",
+    [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json parse" `Quick test_json_parse;
+      Alcotest.test_case "trace disabled by default" `Quick test_trace_disabled;
+      Alcotest.test_case "trace spans" `Quick test_trace_spans;
+      Alcotest.test_case "trace chrome json" `Quick test_trace_chrome_json;
+      Alcotest.test_case "attribution: two procedures" `Quick
+        test_attr_two_procs;
+      Alcotest.test_case "attribution: full shrinks overhead" `Quick
+        test_attr_full_shrinks_overhead;
+      Alcotest.test_case "probe sums match cpu stats" `Quick test_probe_sums;
+      Alcotest.test_case "report round-trip" `Quick test_report_roundtrip;
+      Alcotest.test_case "report rejects future schema" `Quick
+        test_report_rejects_future_schema;
+      Alcotest.test_case "suite --json round-trip" `Quick
+        test_suite_json_roundtrip ] )
