@@ -8,10 +8,15 @@
      bench/main.exe summary    headline numbers vs. the paper
      bench/main.exe micro      run the Bechamel micro-benchmarks only
      bench/main.exe quick      figures from a 5-benchmark subset
+     bench/main.exe check-report   validate BENCH_report.json parses
+
+   A trailing "-j N" caps the measurement pool at N domains (default:
+   the host's recommended count; OMLT_JOBS also overrides). Parallel
+   runs produce bit-identical matrices — only wall clock changes.
 
    "quick" and "all" also write BENCH_report.json — the schema-versioned
-   machine-readable form of the matrix (per-benchmark, per-level cycles
-   and cycle-attribution buckets; see Obs.Report). *)
+   machine-readable form of the matrix (per-benchmark, per-level cycles,
+   cycle-attribution buckets and host throughput; see Obs.Report). *)
 
 let quick_subset = [ "alvinn"; "compress"; "li"; "tomcatv"; "spice" ]
 
@@ -22,38 +27,45 @@ let selected_benchmarks quick =
 
 (* --- the measurement matrix --- *)
 
-let build_matrix quick : Reports.Figures.matrix =
-  let benches = selected_benchmarks quick in
-  List.concat_map
-    (fun (b : Workloads.Programs.benchmark) ->
-      List.filter_map
-        (fun build ->
-          Printf.eprintf "[bench] measuring %-10s %-12s\r%!" b.name
-            (Workloads.Suite.build_name build);
-          match Reports.Measure.run_benchmark build b with
+let jobs : int option ref = ref None
+
+type rows =
+  (Workloads.Programs.benchmark
+  * Workloads.Suite.build
+  * (Reports.Measure.result, string) result)
+  list
+
+let build_matrix quick : rows =
+  let progress =
+    { Reports.Runner.on_start =
+        (fun b build ->
+          Printf.eprintf "[bench] measuring %-10s %-12s\n%!" b.name
+            (Workloads.Suite.build_name build));
+      on_done =
+        (fun b build r ->
+          match r with
           | Ok r ->
               if not r.Reports.Measure.outputs_agree then
                 Printf.eprintf "[bench] WARNING: %s/%s outputs disagree!\n%!"
                   b.name
-                  (Workloads.Suite.build_name build);
-              Some r
+                  (Workloads.Suite.build_name build)
           | Error m ->
               Printf.eprintf "[bench] %s/%s failed: %s\n%!" b.name
-                (Workloads.Suite.build_name build) m;
-              None)
-        Workloads.Suite.all_builds)
-    benches
+                (Workloads.Suite.build_name build) m) }
+  in
+  Reports.Runner.matrix ?jobs:!jobs ~progress (selected_benchmarks quick)
 
-let matrix_cache : Reports.Figures.matrix option ref = ref None
+let matrix_cache : rows option ref = ref None
 
-let matrix quick =
+let rows quick =
   match !matrix_cache with
   | Some m -> m
   | None ->
       let m = build_matrix quick in
-      Printf.eprintf "\n%!";
       matrix_cache := Some m;
       m
+
+let matrix quick : Reports.Figures.matrix = Reports.Runner.results (rows quick)
 
 let timings quick =
   List.map
@@ -83,10 +95,22 @@ let micro () =
       Test.make ~name:"fig3/om-simple-pass" (Staged.stage (om Om.Simple));
       Test.make ~name:"fig4/om-full-pass" (Staged.stage (om Om.Full));
       Test.make ~name:"fig5/om-full-sched-pass" (Staged.stage (om Om.Full_sched));
-      (* Figure 6 requires simulating the linked program *)
+      (* Figure 6 requires simulating the linked program: the decoded
+         fast path (what the harness runs) vs the symbolic reference *)
       Test.make ~name:"fig6/simulate-li"
+        (Staged.stage
+           (let d =
+              match Machine.Cpu.decode std_image with
+              | Ok d -> d
+              | Error _ -> failwith "decode"
+            in
+            fun () ->
+              match Machine.Cpu.run_decoded d with
+              | Ok _ -> ()
+              | Error _ -> failwith "fault"));
+      Test.make ~name:"fig6/simulate-li-reference"
         (Staged.stage (fun () ->
-             match Machine.Cpu.run std_image with
+             match Machine.Cpu.run_reference std_image with
              | Ok _ -> ()
              | Error _ -> failwith "fault"));
       (* Figure 7's columns: the competing build paths *)
@@ -120,7 +144,32 @@ let micro () =
   |> List.iter (fun (name, ols) ->
          match Analyze.OLS.estimates ols with
          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
-         | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+         | _ -> Printf.printf "  %-28s (no estimate)\n" name);
+  (* host throughput of the two interpreters on the same image *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let insns_of = function
+    | Ok (o : Machine.Cpu.outcome) -> o.Machine.Cpu.stats.Machine.Cpu.insns
+    | Error _ -> 0
+  in
+  let mips insns t = if t > 0. then float_of_int insns /. t /. 1e6 else 0. in
+  let d =
+    match Machine.Cpu.decode std_image with
+    | Ok d -> d
+    | Error _ -> failwith "decode"
+  in
+  let r_fast, t_fast = time (fun () -> Machine.Cpu.run_decoded d) in
+  let r_ref, t_ref = time (fun () -> Machine.Cpu.run_reference std_image) in
+  Printf.printf "\nHost throughput (li, standard image, simulated MIPS):\n";
+  Printf.printf "  %-20s %8.2f MIPS  (%.3f s wall)\n" "decoded fast path"
+    (mips (insns_of r_fast) t_fast) t_fast;
+  Printf.printf "  %-20s %8.2f MIPS  (%.3f s wall)\n" "reference interpreter"
+    (mips (insns_of r_ref) t_ref) t_ref;
+  if t_fast > 0. then
+    Printf.printf "  fast-path speedup:   %8.2fx\n" (t_ref /. t_fast)
 
 (* --- ablation: price each OM-full feature by turning it off --- *)
 
@@ -184,15 +233,38 @@ let ablation () =
 let report_path = "BENCH_report.json"
 
 let write_report quick =
-  let m = matrix quick in
+  let rows = rows quick in
   Printf.eprintf "[bench] profiling for cycle attribution...\n%!";
   let report =
-    Reports.Report_json.of_matrix ~attribution:true ~tool:"omlt-bench" m
+    Reports.Runner.report ?jobs:!jobs ~attribution:true ~tool:"omlt-bench" rows
   in
   Obs.Report.write report_path report;
   Printf.eprintf "[bench] wrote %s (schema v%d, %d results)\n%!" report_path
     report.Obs.Report.version
     (List.length report.Obs.Report.results)
+
+(* smoke check: does the written report parse back through the schema
+   reader? (CI runs this after "quick".) *)
+let check_report () =
+  match Obs.Report.read report_path with
+  | Ok r ->
+      let hosted =
+        List.for_all
+          (fun (b : Obs.Report.bench) ->
+            b.Obs.Report.std_host <> None
+            && List.for_all
+                 (fun (run : Obs.Report.run) -> run.Obs.Report.host <> None)
+                 b.Obs.Report.runs)
+          r.Obs.Report.results
+      in
+      Printf.printf "%s: OK (schema v%d, %d results, host throughput %s)\n"
+        report_path r.Obs.Report.version
+        (List.length r.Obs.Report.results)
+        (if hosted then "present" else "MISSING");
+      if not hosted then exit 1
+  | Error m ->
+      Printf.eprintf "%s: FAILED to parse: %s\n" report_path m;
+      exit 1
 
 (* --- driver --- *)
 
@@ -216,10 +288,37 @@ let print_figures quick which =
   end;
   show "summary" Reports.Figures.summary
 
+(* strip "-j N" (or "-jN") anywhere in argv; whatever remains is the
+   command word *)
+let parse_args () =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := Some n;
+            go acc rest
+        | _ ->
+            Printf.eprintf "bad -j argument %S (expected a positive int)\n" n;
+            exit 2)
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
+        match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+        | Some n when n >= 1 ->
+            jobs := Some n;
+            go acc rest
+        | _ ->
+            Printf.eprintf "bad argument %S\n" a;
+            exit 2)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] (List.tl (Array.to_list Sys.argv))
+
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let cmd = match parse_args () with [] -> "all" | c :: _ -> c in
+  match cmd with
   | "micro" -> micro ()
   | "ablation" -> ablation ()
+  | "check-report" -> check_report ()
   | "quick" ->
       print_figures true "all";
       write_report true
@@ -233,6 +332,7 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, ablation, all)\n"
+        "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, \
+         ablation, check-report, all)\n"
         other;
       exit 2

@@ -264,7 +264,8 @@ let stats_cmd =
                     | _ -> 0.);
                   counters = Om.Stats.to_alist stats;
                   attribution = None;
-                  fault }
+                  fault;
+                  host = None }
             | Error m ->
                 { Obs.Report.level = Om.level_name level;
                   cycles = 0;
@@ -272,7 +273,8 @@ let stats_cmd =
                   improvement_pct = 0.;
                   counters = [];
                   attribution = None;
-                  fault = Some m })
+                  fault = Some m;
+                  host = None })
           levels
       in
       let report =
@@ -284,7 +286,8 @@ let stats_cmd =
               std_attribution = None;
               std_fault;
               outputs_agree = true;
-              runs } ]
+              runs;
+              std_host = None } ]
       in
       print_endline (Obs.Json.to_string (Obs.Report.to_json report))
     end
@@ -449,42 +452,56 @@ let suite_cmd =
          & info [ "out" ] ~docv:"FILE"
              ~doc:"With --json: write the report to $(docv) instead of stdout.")
   in
-  let run bench json attr out =
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Measure with $(docv) parallel domains (default: the \
+                   host's recommended domain count; the OMLT_JOBS \
+                   environment variable also overrides it). Results are \
+                   identical to a serial run.")
+  in
+  let run bench json attr out jobs =
     handle_errors @@ fun () ->
     let benches =
       match bench with
       | Some n -> [ find_benchmark n ]
       | None -> Workloads.Programs.all
     in
-    let results =
-      List.concat_map
-        (fun (b : Workloads.Programs.benchmark) ->
-          List.filter_map
-            (fun build ->
-              match Reports.Measure.run_benchmark build b with
-              | Ok r ->
-                  if not json then
-                    Printf.printf "%-10s %-12s std=%d %s agree=%b\n%!" b.name
-                      (Workloads.Suite.build_name build)
-                      r.Reports.Measure.std_cycles
-                      (String.concat " "
-                         (List.map
-                            (fun (run : Reports.Measure.run) ->
-                              Printf.sprintf "%s=%+.1f%%"
-                                (Om.level_name run.level)
-                                (Reports.Measure.improvement r run.level))
-                            r.Reports.Measure.runs))
-                      r.Reports.Measure.outputs_agree;
-                  Some r
-              | Error m ->
-                  Printf.eprintf "%-10s %-12s ERROR %s\n%!" b.name
-                    (Workloads.Suite.build_name build) m;
-                  None)
-            Workloads.Suite.all_builds)
-        benches
+    (* progress (and failures) stream to stderr as tasks finish; result
+       rows print to stdout afterwards, in task order, so the output is
+       deterministic whatever the domain interleaving *)
+    let progress =
+      { Reports.Runner.silent with
+        on_done =
+          (fun b build r ->
+            match r with
+            | Ok _ -> ()
+            | Error m ->
+                Printf.eprintf "%-10s %-12s ERROR %s\n%!"
+                  b.Workloads.Programs.name
+                  (Workloads.Suite.build_name build) m) }
     in
-    if json then begin
-      let report = Reports.Report_json.of_matrix ~attribution:attr results in
+    let rows = Reports.Runner.matrix ?jobs ~progress benches in
+    if not json then
+      List.iter
+        (fun ((b : Workloads.Programs.benchmark), build, r) ->
+          match r with
+          | Error _ -> ()
+          | Ok (r : Reports.Measure.result) ->
+              Printf.printf "%-10s %-12s std=%d %s agree=%b\n%!" b.name
+                (Workloads.Suite.build_name build)
+                r.Reports.Measure.std_cycles
+                (String.concat " "
+                   (List.map
+                      (fun (run : Reports.Measure.run) ->
+                        Printf.sprintf "%s=%+.1f%%"
+                          (Om.level_name run.level)
+                          (Reports.Measure.improvement r run.level))
+                      r.Reports.Measure.runs))
+                r.Reports.Measure.outputs_agree)
+        rows
+    else begin
+      let report = Reports.Runner.report ?jobs ~attribution:attr rows in
       match out with
       | Some path -> Obs.Report.write path report
       | None -> print_endline (Obs.Json.to_string (Obs.Report.to_json report))
@@ -492,7 +509,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run the SPEC92-analogue benchmark matrix.")
-    Term.(const run $ bench $ json_flag $ attr_flag $ out)
+    Term.(const run $ bench $ json_flag $ attr_flag $ out $ jobs)
 
 let main =
   Cmd.group

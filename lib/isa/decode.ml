@@ -86,3 +86,20 @@ let of_bytes b =
       match decode w with Ok i -> go (idx + 1) (i :: acc) | Error e -> Error e
   in
   go 0 []
+
+let of_bytes_loc b =
+  if Bytes.length b mod 4 <> 0 then
+    invalid_arg "Decode.of_bytes_loc: length not a multiple of 4";
+  let n = Bytes.length b / 4 in
+  let out = Array.make n Insn.nop in
+  let rec go idx =
+    if idx = n then Ok out
+    else
+      let w = Int32.to_int (Bytes.get_int32_le b (4 * idx)) land 0xffffffff in
+      match decode w with
+      | Ok i ->
+          out.(idx) <- i;
+          go (idx + 1)
+      | Error e -> Error (4 * idx, e)
+  in
+  go 0

@@ -18,3 +18,8 @@ val decode_exn : int -> Insn.t
 val of_bytes : Bytes.t -> (Insn.t list, error) result
 (** Decode a little-endian instruction stream; the byte length must be a
     multiple of 4. *)
+
+val of_bytes_loc : Bytes.t -> (Insn.t array, int * error) result
+(** Like {!of_bytes} but into an array, and a failure carries the byte
+    offset of the first undecodable word — so callers can report the real
+    faulting address instead of the stream's base. *)

@@ -61,6 +61,36 @@ let uses = function
       match rb with Rb rb -> keep [ ra; rb ] | Imm _ -> keep [ ra ])
   | Call_pal _ -> keep [ Reg.v0; Reg.a0; Reg.a1; Reg.a2 ]
 
+(* Bitmask forms of [defs]/[uses]: bit [i] set iff register [i] is
+   written/read. [Reg.zero] never appears, mirroring the list forms. These
+   are what the simulator's pre-decoded fast path consumes — computed
+   directly (no lists) so the hot decode stays allocation-light; the test
+   suite checks them against the list forms on every instruction shape. *)
+
+let reg_bit r =
+  let i = Reg.to_int r in
+  if i = 31 then 0 else 1 lsl i
+
+let defs_mask = function
+  | Lda { ra; _ } | Ldah { ra; _ } | Ldq { ra; _ } -> reg_bit ra
+  | Stq _ -> 0
+  | Br { ra; _ } | Bsr { ra; _ } -> reg_bit ra
+  | Bcond _ -> 0
+  | Jump { ra; _ } -> reg_bit ra
+  | Op { rc; _ } -> reg_bit rc
+  | Call_pal _ -> reg_bit Reg.v0
+
+let uses_mask = function
+  | Lda { rb; _ } | Ldah { rb; _ } | Ldq { rb; _ } -> reg_bit rb
+  | Stq { ra; rb; _ } -> reg_bit ra lor reg_bit rb
+  | Br _ | Bsr _ -> 0
+  | Bcond { ra; _ } -> reg_bit ra
+  | Jump { rb; _ } -> reg_bit rb
+  | Op { ra; rb; _ } ->
+      reg_bit ra lor (match rb with Rb rb -> reg_bit rb | Imm _ -> 0)
+  | Call_pal _ ->
+      reg_bit Reg.v0 lor reg_bit Reg.a0 lor reg_bit Reg.a1 lor reg_bit Reg.a2
+
 let is_load = function Ldq _ -> true | _ -> false
 let is_store = function Stq _ -> true | _ -> false
 let is_mem i = is_load i || is_store i

@@ -94,6 +94,14 @@ val defs : t -> Reg.t list
 val uses : t -> Reg.t list
 (** Registers read. [Reg.zero] is never reported. *)
 
+val defs_mask : t -> int
+(** {!defs} as a register bitmask: bit [i] set iff register [i] is
+    written. Agrees with [defs] exactly; the allocation-free form the
+    simulator's pre-decoded fast path consumes. *)
+
+val uses_mask : t -> int
+(** {!uses} as a register bitmask. Agrees with [uses] exactly. *)
+
 val is_load : t -> bool
 val is_store : t -> bool
 val is_mem : t -> bool

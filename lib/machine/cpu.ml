@@ -42,6 +42,7 @@ type error =
   | Out_of_range_access of int
   | Undecodable of int
   | Bad_syscall of int64
+  | Unknown_pal of int
   | Heap_exhausted
   | Insn_limit_reached
 
@@ -50,6 +51,7 @@ let pp_error ppf = function
   | Out_of_range_access a -> Format.fprintf ppf "access out of range at %#x" a
   | Undecodable a -> Format.fprintf ppf "undecodable instruction at %#x" a
   | Bad_syscall v -> Format.fprintf ppf "unknown system call %Ld" v
+  | Unknown_pal c -> Format.fprintf ppf "unknown PALcode function %#x" c
   | Heap_exhausted -> Format.fprintf ppf "heap exhausted"
   | Insn_limit_reached -> Format.fprintf ppf "instruction limit reached"
 
@@ -65,11 +67,11 @@ exception Fault of error
 
 module R = Isa.Reg
 module I = Isa.Insn
+module D = Decoded
 
 type machine = {
   cfg : config;
   text_base : int;
-  code : I.t array;
   data_base : int;
   data : Bytes.t;              (* data region + heap *)
   stack_base : int;
@@ -87,7 +89,37 @@ type machine = {
   mutable nops : int;
 }
 
-let rget m r = if r = 31 then 0L else m.regs.(r)
+let create_machine config (image : Linker.Image.t) =
+  let data_len =
+    image.Linker.Image.heap_base - image.Linker.Image.data_base
+    + config.heap_max
+  in
+  let data = Bytes.make data_len '\000' in
+  Bytes.blit image.Linker.Image.data 0 data 0
+    (Bytes.length image.Linker.Image.data);
+  { cfg = config;
+    text_base = image.Linker.Image.text_base;
+    data_base = image.Linker.Image.data_base;
+    data;
+    stack_base = Linker.Layout.stack_top - Linker.Layout.stack_bytes;
+    stack = Bytes.make Linker.Layout.stack_bytes '\000';
+    regs = Array.make 32 0L;
+    brk = image.Linker.Image.heap_base;
+    heap_limit = image.Linker.Image.heap_base + config.heap_max - 16;
+    out = Buffer.create 256;
+    icache = Cache.create ~size_bytes:config.icache_bytes
+               ~line_bytes:config.line_bytes;
+    dcache = Cache.create ~size_bytes:config.dcache_bytes
+               ~line_bytes:config.line_bytes;
+    ready = Array.make 32 0;
+    ninsns = 0;
+    loads = 0;
+    stores = 0;
+    nops = 0 }
+
+(* Writes to register 31 are discarded, so [regs.(31)] stays 0 forever and
+   reads need no special case. *)
+let rget m r = m.regs.(r)
 let rset m r v = if r <> 31 then m.regs.(r) <- v
 
 let mem m addr =
@@ -108,11 +140,286 @@ let write64 m addr v =
   let b, off = mem m addr in
   Bytes.set_int64_le b off v
 
+let bool64 c = if c then 1L else 0L
+
+(* System calls; returns [Some code] when the program exits. *)
+let syscall m =
+  let v0 = rget m (R.to_int R.v0) in
+  let a0 = rget m (R.to_int R.a0) in
+  match v0 with
+  | 0L -> Some a0
+  | 1L ->
+      Buffer.add_string m.out (Int64.to_string a0);
+      None
+  | 2L ->
+      Buffer.add_char m.out (Char.chr (Int64.to_int a0 land 0xff));
+      None
+  | 3L ->
+      let rec go addr =
+        let q = read64 m (Int64.to_int addr) in
+        if not (Int64.equal q 0L) then begin
+          Buffer.add_char m.out (Char.chr (Int64.to_int q land 0xff));
+          go (Int64.add addr 8L)
+        end
+      in
+      go a0;
+      None
+  | 4L ->
+      let n = (Int64.to_int a0 + 15) land lnot 15 in
+      if m.brk + n > m.heap_limit then raise (Fault Heap_exhausted);
+      rset m (R.to_int R.v0) (Int64.of_int m.brk);
+      m.brk <- m.brk + n;
+      None
+  | v -> raise (Fault (Bad_syscall v))
+
+let boot m (image : Linker.Image.t) =
+  rset m (R.to_int R.sp) (Int64.of_int (Linker.Layout.stack_top - 64));
+  rset m (R.to_int R.pv) (Int64.of_int image.Linker.Image.entry)
+
+let outcome_of m ~last_issue ~exit_code =
+  { exit_code;
+    output = Buffer.contents m.out;
+    stats =
+      { insns = m.ninsns;
+        cycles = last_issue + 1;
+        loads = m.loads;
+        stores = m.stores;
+        icache_misses = Cache.misses m.icache;
+        dcache_misses = Cache.misses m.dcache;
+        nops_executed = m.nops } }
+
+(* --- bitmask iteration helpers (fast path) --- *)
+
+(* number-of-trailing-zeros of an isolated bit below 2^32, by de Bruijn
+   multiplication — the stdlib has no ctz intrinsic *)
+let ntz_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let[@inline] ntz b = Array.unsafe_get ntz_table ((b * 0x077CB531 land 0xFFFFFFFF) lsr 27)
+
+(* max over [ready.(i)] for every bit [i] of [mask]; 0 on the empty mask *)
+let[@inline] max_ready ready mask =
+  if mask = 0 then 0
+  else begin
+    let acc = ref 0 and m = ref mask in
+    while !m <> 0 do
+      let b = !m land (- !m) in
+      let r = Array.unsafe_get ready (ntz b) in
+      if r > !acc then acc := r;
+      m := !m land (!m - 1)
+    done;
+    !acc
+  end
+
+let[@inline] set_ready ready mask t =
+  let m = ref mask in
+  while !m <> 0 do
+    let b = !m land (- !m) in
+    Array.unsafe_set ready (ntz b) t;
+    m := !m land (!m - 1)
+  done
+
+(* --- the pre-decoded fast path --- *)
+
+let run_decoded ?(config = default_config) ?trace ?probe (d : D.t) =
+  let image = d.D.image in
+  let m = create_machine config image in
+  boot m image;
+  let kind = d.D.kind
+  and ra_a = d.D.ra
+  and rb_a = d.D.rb
+  and rc_a = d.D.rc
+  and imm_a = d.D.imm
+  and uses_a = d.D.uses
+  and defs_a = d.D.defs
+  and lat_a = d.D.lat
+  and pipe_a = d.D.pipe
+  and flags_a = d.D.flags
+  and target_a = d.D.target
+  and insns_a = d.D.insns in
+  let n = Array.length kind in
+  let text_base = m.text_base in
+  let ready = m.ready in
+  let max_insns = config.max_insns in
+  let dual_issue = config.dual_issue in
+  let icache_miss_penalty = config.icache_miss_penalty in
+  let dcache_miss_penalty = config.dcache_miss_penalty in
+  let branch_penalty = config.branch_penalty in
+  let pc = ref image.Linker.Image.entry in
+  let last_issue = ref (-1) in
+  let last_pc = ref min_int in
+  let last_pipe = ref (-1) in            (* -1 = none *)
+  let last_was_ctl = ref true in
+  let finished = ref None in
+  (try
+     while Option.is_none !finished do
+       if m.ninsns >= max_insns then raise (Fault Insn_limit_reached);
+       let idx = (!pc - text_base) asr 2 in
+       if idx < 0 || idx >= n then raise (Fault (Out_of_range_access !pc));
+       (match trace with
+       | Some f -> f ~pc:!pc (Array.unsafe_get insns_a idx)
+       | None -> ());
+       m.ninsns <- m.ninsns + 1;
+       let fl = Array.unsafe_get flags_a idx in
+       if fl land D.flag_nop <> 0 then m.nops <- m.nops + 1;
+       let issue0 = !last_issue in
+       let dmiss0 =
+         match probe with Some _ -> Cache.misses m.dcache | None -> 0
+       in
+       (* --- timing --- *)
+       let fetch_penalty =
+         if Cache.access m.icache !pc then 0 else icache_miss_penalty
+       in
+       let operand_ready = max_ready ready (Array.unsafe_get uses_a idx) in
+       let pipe = Array.unsafe_get pipe_a idx in
+       let pairable =
+         dual_issue && fetch_penalty = 0
+         && !pc = !last_pc + 4
+         && !last_pc land 7 = 0
+         && (not !last_was_ctl)
+         && !last_pipe >= 0 && !last_pipe <> pipe
+         && operand_ready <= !last_issue
+       in
+       let issue =
+         if pairable then !last_issue
+         else max (!last_issue + 1) operand_ready + fetch_penalty
+       in
+       (* --- execute --- *)
+       let next_pc = ref (!pc + 4) in
+       let taken = ref false in
+       let result_latency = ref (Array.unsafe_get lat_a idx) in
+       let k = Array.unsafe_get kind idx in
+       (if k >= D.k_op_base && k < D.k_syscall then begin
+          (* binary operate: operator folded into the kind *)
+          let a = rget m (Array.unsafe_get ra_a idx) in
+          let op, b =
+            if k < D.k_opi_base then
+              (k - D.k_op_base, rget m (Array.unsafe_get rb_a idx))
+            else (k - D.k_opi_base, Int64.of_int (Array.unsafe_get imm_a idx))
+          in
+          let v =
+            match op with
+            | 0 -> Int64.add a b
+            | 1 -> Int64.sub a b
+            | 2 -> Int64.mul a b
+            | 3 -> bool64 (Int64.equal a b)
+            | 4 -> bool64 (Int64.compare a b < 0)
+            | 5 -> bool64 (Int64.compare a b <= 0)
+            | 6 -> bool64 (Int64.unsigned_compare a b < 0)
+            | 7 -> bool64 (Int64.unsigned_compare a b <= 0)
+            | 8 -> Int64.logand a b
+            | 9 -> Int64.logor a b
+            | 10 -> Int64.logxor a b
+            | 11 -> Int64.logor a (Int64.lognot b)
+            | 12 -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+            | 13 ->
+                Int64.shift_right_logical a
+                  (Int64.to_int (Int64.logand b 63L))
+            | _ -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+          in
+          rset m (Array.unsafe_get rc_a idx) v
+        end
+        else if k = D.k_lda then
+          rset m (Array.unsafe_get ra_a idx)
+            (Int64.add
+               (rget m (Array.unsafe_get rb_a idx))
+               (Int64.of_int (Array.unsafe_get imm_a idx)))
+        else if k = D.k_ldq then begin
+          let addr =
+            Int64.to_int (rget m (Array.unsafe_get rb_a idx))
+            + Array.unsafe_get imm_a idx
+          in
+          m.loads <- m.loads + 1;
+          let hit = Cache.access m.dcache addr in
+          if not hit then
+            result_latency := !result_latency + dcache_miss_penalty;
+          rset m (Array.unsafe_get ra_a idx) (read64 m addr)
+        end
+        else if k = D.k_stq then begin
+          let addr =
+            Int64.to_int (rget m (Array.unsafe_get rb_a idx))
+            + Array.unsafe_get imm_a idx
+          in
+          m.stores <- m.stores + 1;
+          ignore (Cache.access m.dcache addr);
+          write64 m addr (rget m (Array.unsafe_get ra_a idx))
+        end
+        else if k = D.k_bcond then begin
+          let v = rget m (Array.unsafe_get ra_a idx) in
+          let t =
+            match Array.unsafe_get rc_a idx with
+            | 0 -> Int64.equal v 0L
+            | 1 -> not (Int64.equal v 0L)
+            | 2 -> Int64.compare v 0L < 0
+            | 3 -> Int64.compare v 0L <= 0
+            | 4 -> Int64.compare v 0L >= 0
+            | 5 -> Int64.compare v 0L > 0
+            | 6 -> Int64.equal (Int64.logand v 1L) 0L
+            | _ -> Int64.equal (Int64.logand v 1L) 1L
+          in
+          if t then begin
+            next_pc := Array.unsafe_get target_a idx;
+            taken := true
+          end
+        end
+        else if k = D.k_br then begin
+          rset m (Array.unsafe_get ra_a idx) (Int64.of_int (!pc + 4));
+          next_pc := Array.unsafe_get target_a idx;
+          taken := true
+        end
+        else if k = D.k_jump then begin
+          let target =
+            Int64.to_int (rget m (Array.unsafe_get rb_a idx)) land lnot 3
+          in
+          rset m (Array.unsafe_get ra_a idx) (Int64.of_int (!pc + 4));
+          next_pc := target;
+          taken := true
+        end
+        else if k = D.k_syscall then finished := syscall m
+        else raise (Fault (Unknown_pal (Array.unsafe_get imm_a idx))));
+       (* --- writeback timing --- *)
+       set_ready ready (Array.unsafe_get defs_a idx) (issue + !result_latency);
+       last_pc := !pc;
+       last_pipe := pipe;
+       last_was_ctl :=
+         (fl land (D.flag_branch lor D.flag_pal) <> 0 && !taken)
+         || fl land D.flag_pal <> 0;
+       last_issue := if !taken then issue + branch_penalty else issue;
+       (match probe with
+       | Some f ->
+           f
+             { ev_pc = !last_pc;
+               ev_insn = Array.unsafe_get insns_a idx;
+               ev_cycles = !last_issue - issue0;
+               ev_icache_miss = fetch_penalty > 0;
+               ev_dcache_miss = Cache.misses m.dcache > dmiss0 }
+       | None -> ());
+       pc := !next_pc
+     done;
+     Ok (outcome_of m ~last_issue:!last_issue ~exit_code:(Option.get !finished))
+   with Fault e -> Error e)
+
+let decode (image : Linker.Image.t) =
+  match D.of_image image with
+  | Ok d -> Ok d
+  | Error (pc, _) -> Error (Undecodable pc)
+
+let run ?config ?trace ?probe (image : Linker.Image.t) =
+  match decode image with
+  | Error e -> Error e
+  | Ok d -> run_decoded ?config ?trace ?probe d
+
+(* --- the reference interpreter ---
+
+   The original symbolic-form interpreter, retained verbatim as the
+   semantic oracle: it re-derives uses/defs/pipe/latency from [Isa.Insn]
+   on every retired instruction. The differential tests require
+   [run_decoded] to reproduce its stats, output and exit code exactly. *)
+
 let operand m = function
   | I.Rb r -> rget m (R.to_int r)
   | I.Imm n -> Int64.of_int n
-
-let bool64 c = if c then 1L else 0L
 
 let eval_op m (op : I.binop) ra rb =
   let a = rget m (R.to_int ra) in
@@ -145,76 +452,14 @@ let cond_true (c : I.cond) v =
   | I.Blbc -> Int64.equal (Int64.logand v 1L) 0L
   | I.Blbs -> Int64.equal (Int64.logand v 1L) 1L
 
-(* System calls; returns [Some code] when the program exits. *)
-let syscall m =
-  let v0 = rget m (R.to_int R.v0) in
-  let a0 = rget m (R.to_int R.a0) in
-  match v0 with
-  | 0L -> Some a0
-  | 1L ->
-      Buffer.add_string m.out (Int64.to_string a0);
-      None
-  | 2L ->
-      Buffer.add_char m.out (Char.chr (Int64.to_int a0 land 0xff));
-      None
-  | 3L ->
-      let rec go addr =
-        let q = read64 m (Int64.to_int addr) in
-        if not (Int64.equal q 0L) then begin
-          Buffer.add_char m.out (Char.chr (Int64.to_int q land 0xff));
-          go (Int64.add addr 8L)
-        end
-      in
-      go a0;
-      None
-  | 4L ->
-      let n = (Int64.to_int a0 + 15) land lnot 15 in
-      if m.brk + n > m.heap_limit then raise (Fault Heap_exhausted);
-      rset m (R.to_int R.v0) (Int64.of_int m.brk);
-      m.brk <- m.brk + n;
-      None
-  | v -> raise (Fault (Bad_syscall v))
-
-let run ?(config = default_config) ?trace ?probe (image : Linker.Image.t) =
-  let code =
-    match Isa.Decode.of_bytes image.Linker.Image.text with
-    | Ok is -> Array.of_list is
-    | Error _ -> [||]
-  in
-  if code = [||] && Bytes.length image.Linker.Image.text > 0 then
-    Error (Undecodable image.Linker.Image.text_base)
-  else begin
-    let data_len =
-      image.Linker.Image.heap_base - image.Linker.Image.data_base
-      + config.heap_max
-    in
-    let data = Bytes.make data_len '\000' in
-    Bytes.blit image.Linker.Image.data 0 data 0
-      (Bytes.length image.Linker.Image.data);
-    let m =
-      { cfg = config;
-        text_base = image.Linker.Image.text_base;
-        code;
-        data_base = image.Linker.Image.data_base;
-        data;
-        stack_base = Linker.Layout.stack_top - Linker.Layout.stack_bytes;
-        stack = Bytes.make Linker.Layout.stack_bytes '\000';
-        regs = Array.make 32 0L;
-        brk = image.Linker.Image.heap_base;
-        heap_limit = image.Linker.Image.heap_base + config.heap_max - 16;
-        out = Buffer.create 256;
-        icache = Cache.create ~size_bytes:config.icache_bytes
-                   ~line_bytes:config.line_bytes;
-        dcache = Cache.create ~size_bytes:config.dcache_bytes
-                   ~line_bytes:config.line_bytes;
-        ready = Array.make 32 0;
-        ninsns = 0;
-        loads = 0;
-        stores = 0;
-        nops = 0 }
-    in
-    rset m (R.to_int R.sp) (Int64.of_int (Linker.Layout.stack_top - 64));
-    rset m (R.to_int R.pv) (Int64.of_int image.Linker.Image.entry);
+let run_reference ?(config = default_config) ?trace ?probe
+    (image : Linker.Image.t) =
+  match Isa.Decode.of_bytes_loc image.Linker.Image.text with
+  | Error (off, _) ->
+      Error (Undecodable (image.Linker.Image.text_base + off))
+  | Ok code ->
+    let m = create_machine config image in
+    boot m image;
     let pc = ref image.Linker.Image.entry in
     let last_issue = ref (-1) in
     let last_pc = ref min_int in
@@ -296,7 +541,7 @@ let run ?(config = default_config) ?trace ?probe (image : Linker.Image.t) =
              taken := true
          | I.Op { op; ra; rb; rc } -> rset m (R.to_int rc) (eval_op m op ra rb)
          | I.Call_pal 0x83 -> finished := syscall m
-         | I.Call_pal _ -> raise (Fault (Bad_syscall (-1L))));
+         | I.Call_pal code -> raise (Fault (Unknown_pal code)));
          (* --- writeback timing --- *)
          List.iter
            (fun r -> m.ready.(R.to_int r) <- issue + !result_latency)
@@ -322,15 +567,6 @@ let run ?(config = default_config) ?trace ?probe (image : Linker.Image.t) =
          pc := !next_pc
        done;
        Ok
-         { exit_code = Option.get !finished;
-           output = Buffer.contents m.out;
-           stats =
-             { insns = m.ninsns;
-               cycles = !last_issue + 1;
-               loads = m.loads;
-               stores = m.stores;
-               icache_misses = Cache.misses m.icache;
-               dcache_misses = Cache.misses m.dcache;
-               nops_executed = m.nops } }
+         (outcome_of m ~last_issue:!last_issue
+            ~exit_code:(Option.get !finished))
      with Fault e -> Error e)
-  end

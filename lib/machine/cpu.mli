@@ -11,7 +11,19 @@
     - 8KB direct-mapped split I/D caches.
 
     System calls go through [call_pal 0x83] with the code in [v0]:
-    0 exit, 1 put integer, 2 put character, 3 put quad-string, 4 sbrk. *)
+    0 exit, 1 put integer, 2 put character, 3 put quad-string, 4 sbrk.
+
+    Two interpreters implement the model:
+    - {!run_decoded} (and {!run}, which pre-decodes then delegates)
+      executes the {!Decoded} fast-path representation — precomputed
+      uses/defs register bitmasks, latencies, pipes and branch targets,
+      with no per-instruction list allocation;
+    - {!run_reference} is the original symbolic-form interpreter, kept as
+      the semantic oracle for differential testing.
+
+    Both produce identical outcomes (stats, output, exit code, faults) on
+    every image; the test suite enforces this across the benchmark
+    suite. *)
 
 type config = {
   icache_bytes : int;
@@ -47,7 +59,11 @@ type error =
   | Unaligned_access of int
   | Out_of_range_access of int
   | Undecodable of int
+      (** carries the PC of the first undecodable instruction word *)
   | Bad_syscall of int64
+      (** a [call_pal 0x83] with an unknown code in [v0] *)
+  | Unknown_pal of int
+      (** a [call_pal] other than the 0x83 system-call gate *)
   | Heap_exhausted
   | Insn_limit_reached
 
@@ -64,13 +80,35 @@ type probe_event = {
   ev_dcache_miss : bool;
 }
 
+val decode : Linker.Image.t -> (Decoded.t, error) result
+(** Pre-decode an image for {!run_decoded}. [Error (Undecodable pc)]
+    carries the PC of the offending word. *)
+
+val run_decoded :
+  ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
+  ?probe:(probe_event -> unit) -> Decoded.t ->
+  (outcome, error) result
+(** Boot and run a pre-decoded image ([pc] and [pv] at the entry point,
+    [sp] near the stack top) until the exit system call. The no-[trace]/
+    no-[probe] path performs no per-instruction list allocation or
+    instruction-form dispatch. Repeated simulations of one image should
+    decode once with {!decode} and call this. *)
+
 val run :
   ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
   ?probe:(probe_event -> unit) -> Linker.Image.t ->
   (outcome, error) result
-(** Boot the image ([pc] and [pv] at the entry point, [sp] near the stack
-    top) and run until the exit system call. [trace] is invoked before each
+(** [decode] then {!run_decoded}. [trace] is invoked before each
     instruction executes — the hook behind execution profiling and
     debugging tools. [probe] is invoked after each instruction retires with
     its timing attribution; when absent (the default) the timing loop is
     unchanged. *)
+
+val run_reference :
+  ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
+  ?probe:(probe_event -> unit) -> Linker.Image.t ->
+  (outcome, error) result
+(** The retained symbolic-form interpreter (re-derives uses/defs/pipe/
+    latency from {!Isa.Insn} per retired instruction). Semantically
+    identical to {!run}; exists as the oracle for differential tests and
+    for measuring the fast path's speedup. *)

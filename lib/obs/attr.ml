@@ -92,7 +92,10 @@ let fresh_profile pname =
 let bucket p cat = p.p_buckets.(category_index cat)
 let proc t name = List.find_opt (fun p -> String.equal p.pname name) t.procs
 
-let run ?config (image : Linker.Image.t) =
+(* [simulate] abstracts over which interpreter entry point drives the
+   probe: [run] decodes the image itself; [run_decoded] reuses a cached
+   pre-decoded form. *)
+let profile_with ~(image : Linker.Image.t) simulate =
   let map = pcmap image in
   let gat_base = image.Linker.Image.gat_base in
   let gat_bytes = image.Linker.Image.gat_bytes in
@@ -148,7 +151,7 @@ let run ?config (image : Linker.Image.t) =
     tb.b_insns <- tb.b_insns + 1;
     tb.b_cycles <- tb.b_cycles + cycles
   in
-  match Machine.Cpu.run ?config ~probe image with
+  match simulate ~probe with
   | Error _ as e -> e
   | Ok o ->
       let procs =
@@ -161,6 +164,13 @@ let run ?config (image : Linker.Image.t) =
           cpu = o.Machine.Cpu.stats;
           output = o.Machine.Cpu.output;
           exit_code = o.Machine.Cpu.exit_code }
+
+let run ?config (image : Linker.Image.t) =
+  profile_with ~image (fun ~probe -> Machine.Cpu.run ?config ~probe image)
+
+let run_decoded ?config (d : Machine.Decoded.t) =
+  profile_with ~image:(Machine.Decoded.image d) (fun ~probe ->
+      Machine.Cpu.run_decoded ?config ~probe d)
 
 let pp ?(top = 12) ppf t =
   let row ppf p =

@@ -71,6 +71,12 @@ val run :
   ?config:Machine.Cpu.config -> Linker.Image.t ->
   (t, Machine.Cpu.error) result
 
+val run_decoded :
+  ?config:Machine.Cpu.config -> Machine.Decoded.t ->
+  (t, Machine.Cpu.error) result
+(** Like {!run} over a pre-decoded image — the path the measurement
+    harness uses so attribution re-simulations never re-decode. *)
+
 val pp : ?top:int -> Format.formatter -> t -> unit
 (** Per-procedure table: cycles, instruction count, category cycles and
     cache misses. [top] limits the procedure rows (default 12); the totals

@@ -1,7 +1,14 @@
-let schema_version = 1
+(* v1: the original schema. v2 adds the optional host-throughput fields
+   ([host] on each run, [std_host] on each bench); the reader accepts
+   both versions, mapping absent fields to [None]. *)
+let schema_version = 2
+
+let accepted_versions = [ 1; 2 ]
 
 type bucket = { insns : int; cycles : int }
 type attribution = (string * bucket) list
+
+type host = { wall_s : float; mips : float }
 
 type run = {
   level : string;
@@ -11,6 +18,7 @@ type run = {
   counters : (string * int) list;
   attribution : attribution option;
   fault : string option;
+  host : host option;
 }
 
 type bench = {
@@ -22,6 +30,7 @@ type bench = {
   std_fault : string option;
   outputs_agree : bool;
   runs : run list;
+  std_host : host option;
 }
 
 type t = {
@@ -55,6 +64,12 @@ let attribution_json = function
              ))
            a)
 
+let host_json = function
+  | None -> Json.Null
+  | Some h ->
+      Json.Obj
+        [ ("wall_s", Json.Float h.wall_s); ("mips", Json.Float h.mips) ]
+
 let run_json r =
   Json.Obj
     [ ("level", Json.String r.level);
@@ -63,7 +78,8 @@ let run_json r =
       ("improvement_pct", Json.Float r.improvement_pct);
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
       ("attribution", attribution_json r.attribution);
-      ("fault", opt_string r.fault) ]
+      ("fault", opt_string r.fault);
+      ("host", host_json r.host) ]
 
 let bench_json b =
   Json.Obj
@@ -74,7 +90,8 @@ let bench_json b =
       ("std_attribution", attribution_json b.std_attribution);
       ("std_fault", opt_string b.std_fault);
       ("outputs_agree", Json.Bool b.outputs_agree);
-      ("runs", Json.List (List.map run_json b.runs)) ]
+      ("runs", Json.List (List.map run_json b.runs));
+      ("std_host", host_json b.std_host) ]
 
 let to_json t =
   Json.Obj
@@ -134,6 +151,15 @@ let counters_of_json j =
       Ok (List.rev kv)
   | Some _ -> Error "field \"counters\" has the wrong type"
 
+(* Absent in v1 documents, so a missing field is [None], not an error. *)
+let host_of_json name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+      let* wall_s = field "wall_s" Json.get_float v in
+      let* mips = field "mips" Json.get_float v in
+      Ok (Some { wall_s; mips })
+
 let run_of_json j =
   let* level = field "level" Json.get_string j in
   let* cycles = field "cycles" Json.get_int j in
@@ -142,7 +168,8 @@ let run_of_json j =
   let* counters = counters_of_json j in
   let* attribution = attribution_of_json "attribution" j in
   let* fault = opt_string_of j "fault" in
-  Ok { level; cycles; insns; improvement_pct; counters; attribution; fault }
+  let* host = host_of_json "host" j in
+  Ok { level; cycles; insns; improvement_pct; counters; attribution; fault; host }
 
 let bench_of_json j =
   let* bench = field "bench" Json.get_string j in
@@ -161,6 +188,7 @@ let bench_of_json j =
         Ok (r :: acc))
       (Ok []) run_list
   in
+  let* std_host = host_of_json "std_host" j in
   Ok
     { bench;
       build;
@@ -169,11 +197,12 @@ let bench_of_json j =
       std_attribution;
       std_fault;
       outputs_agree;
-      runs = List.rev runs }
+      runs = List.rev runs;
+      std_host }
 
 let of_json j =
   let* version = field "schema_version" Json.get_int j in
-  if version <> schema_version then
+  if not (List.mem version accepted_versions) then
     Error
       (Printf.sprintf "unsupported schema_version %d (this reader speaks %d)"
          version schema_version)

@@ -10,14 +10,24 @@
 
     The schema is deliberately self-describing: {!of_json} refuses
     documents whose [schema_version] it does not understand, and
-    {!to_json}/{!of_json} round-trip exactly. *)
+    {!to_json}/{!of_json} round-trip exactly. Version 2 added the
+    optional host-throughput fields ([host], [std_host]); the reader
+    still accepts v1 documents, surfacing those fields as [None]. *)
 
 val schema_version : int
+(** The version {!make} stamps on new reports (currently 2). *)
+
+val accepted_versions : int list
+(** The versions {!of_json} understands. *)
 
 type bucket = { insns : int; cycles : int }
 
 type attribution = (string * bucket) list
 (** category name (see {!Attr.category_name}) -> dynamic cost *)
+
+type host = { wall_s : float; mips : float }
+(** Host-side throughput of the simulation itself: wall-clock seconds
+    and simulated millions of instructions per second. *)
 
 type run = {
   level : string;            (** {!Om.level_name}, e.g. ["om-full"] *)
@@ -27,6 +37,7 @@ type run = {
   counters : (string * int) list;  (** optimizer statistics, flat *)
   attribution : attribution option;
   fault : string option;     (** simulation fault, when the run died *)
+  host : host option;        (** absent in v1 documents *)
 }
 
 type bench = {
@@ -38,6 +49,7 @@ type bench = {
   std_fault : string option;
   outputs_agree : bool;
   runs : run list;
+  std_host : host option;    (** absent in v1 documents *)
 }
 
 type t = {

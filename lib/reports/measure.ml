@@ -5,6 +5,8 @@ type run = {
   insns : int;
   output : string;
   image : Linker.Image.t;
+  wall_s : float;
+  mips : float;
 }
 
 type result = {
@@ -16,29 +18,68 @@ type result = {
   std_image : Linker.Image.t;
   runs : run list;
   outputs_agree : bool;
+  std_wall_s : float;
+  std_mips : float;
 }
 
+(* One decode per distinct image, shared across the suite/profile/bench
+   harnesses and across domains. Keyed structurally: identical images
+   (e.g. the same benchmark re-measured) hit the same entry. *)
+let decoded : (Linker.Image.t, Machine.Decoded.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let decoded_lock = Mutex.create ()
+
+let decode_cached image =
+  let cached =
+    Mutex.protect decoded_lock (fun () -> Hashtbl.find_opt decoded image)
+  in
+  match cached with
+  | Some d -> Ok d
+  | None -> (
+      match Machine.Cpu.decode image with
+      | Ok d ->
+          Mutex.protect decoded_lock (fun () ->
+              Hashtbl.replace decoded image d);
+          Ok d
+      | Error _ as e -> e)
+
+let mips_of ~insns ~wall_s =
+  if wall_s > 0. then float_of_int insns /. wall_s /. 1e6 else 0.
+
 let run_image image =
-  match Machine.Cpu.run image with
+  let ( let* ) = Result.bind in
+  let fault e =
+    Format.asprintf "simulation fault: %a" Machine.Cpu.pp_error e
+  in
+  let* d = Result.map_error fault (decode_cached image) in
+  let t0 = Unix.gettimeofday () in
+  match Machine.Cpu.run_decoded d with
   | Ok o ->
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let insns = o.Machine.Cpu.stats.Machine.Cpu.insns in
       Ok
         ( o.Machine.Cpu.stats.Machine.Cpu.cycles,
-          o.Machine.Cpu.stats.Machine.Cpu.insns,
-          o.Machine.Cpu.output )
-  | Error e -> Error (Format.asprintf "simulation fault: %a" Machine.Cpu.pp_error e)
+          insns,
+          o.Machine.Cpu.output,
+          wall_s,
+          mips_of ~insns ~wall_s )
+  | Error e -> Error (fault e)
 
 let run_benchmark ?(levels = Om.all_levels) build (b : Workloads.Programs.benchmark) =
   let ( let* ) = Result.bind in
   let* world = Workloads.Suite.resolve build b in
   let* std = Linker.Link.link_resolved world in
-  let* std_cycles, std_insns, std_output = run_image std in
+  let* std_cycles, std_insns, std_output, std_wall_s, std_mips =
+    run_image std
+  in
   let* runs =
     List.fold_left
       (fun acc level ->
         let* acc = acc in
         let* { Om.image; stats } = Om.optimize_resolved level world in
-        let* cycles, insns, output = run_image image in
-        Ok ({ level; stats; cycles; insns; output; image } :: acc))
+        let* cycles, insns, output, wall_s, mips = run_image image in
+        Ok ({ level; stats; cycles; insns; output; image; wall_s; mips } :: acc))
       (Ok []) levels
   in
   let runs = List.rev runs in
@@ -51,7 +92,9 @@ let run_benchmark ?(levels = Om.all_levels) build (b : Workloads.Programs.benchm
       std_image = std;
       runs;
       outputs_agree =
-        List.for_all (fun r -> String.equal r.output std_output) runs }
+        List.for_all (fun r -> String.equal r.output std_output) runs;
+      std_wall_s;
+      std_mips }
 
 let improvement result level =
   match List.find_opt (fun r -> r.level = level) result.runs with
@@ -74,10 +117,12 @@ type timing = {
   t_full_sched : float;
 }
 
+(* Wall clock, not [Sys.time]: under parallel domains process CPU time
+   aggregates every core and would overstate each path. *)
 let time_once f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   f ();
-  Sys.time () -. t0
+  Unix.gettimeofday () -. t0
 
 (* best of three, to damp GC noise *)
 let time3 f = min (time_once f) (min (time_once f) (time_once f))

@@ -12,6 +12,8 @@ type run = {
   insns : int;
   output : string;
   image : Linker.Image.t;   (** kept for post-hoc profiling/attribution *)
+  wall_s : float;           (** host wall-clock seconds of the simulation *)
+  mips : float;             (** simulated million instructions / second *)
 }
 
 type result = {
@@ -23,7 +25,15 @@ type result = {
   std_image : Linker.Image.t;
   runs : run list;          (** one per {!Om.all_levels} *)
   outputs_agree : bool;
+  std_wall_s : float;
+  std_mips : float;
 }
+
+val decode_cached :
+  Linker.Image.t -> (Machine.Decoded.t, Machine.Cpu.error) Stdlib.result
+(** Pre-decode an image for {!Machine.Cpu.run_decoded}, memoized so
+    suite/profile/bench runs never decode the same image twice. Safe to
+    call from multiple domains concurrently. *)
 
 val run_benchmark :
   ?levels:Om.level list -> Workloads.Suite.build -> Workloads.Programs.benchmark ->
@@ -46,4 +56,5 @@ type timing = {
 val time_builds : Workloads.Programs.benchmark -> timing
 (** Wall-clock the six build paths of the paper's Figure 7 (objects are
     pre-compiled for every column except the interprocedural build, which
-    compiles from source). *)
+    compiles from source). Uses wall time, so the numbers stay meaningful
+    when other domains are busy. *)

@@ -1,0 +1,45 @@
+let default_jobs () =
+  match Sys.getenv_opt "OMLT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+exception Worker_failed of exn
+
+let map ?jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs =
+    max 1 (min n (match jobs with Some j -> max 1 j | None -> default_jobs ()))
+  in
+  if jobs = 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try results.(i) <- Some (f items.(i))
+           with e ->
+             (* first failure wins; the rest of the queue is abandoned *)
+             ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some e -> raise (Worker_failed e)
+    | None ->
+        Array.to_list
+          (Array.map
+             (function Some r -> r | None -> assert false)
+             results)
+  end

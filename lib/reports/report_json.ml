@@ -1,10 +1,16 @@
+(* Attribution re-simulates the image with the probe on; going through
+   the decoded cache means that second pass never re-decodes. *)
 let profile_buckets image =
-  match Obs.Attr.run image with
-  | Ok p -> Some (Obs.Report.attribution_of_profile p)
+  match Measure.decode_cached image with
   | Error _ -> None
+  | Ok d -> (
+      match Obs.Attr.run_decoded d with
+      | Ok p -> Some (Obs.Report.attribution_of_profile p)
+      | Error _ -> None)
 
 let of_result ?(attribution = false) (r : Measure.result) =
   let attr image = if attribution then profile_buckets image else None in
+  let host ~wall_s ~mips = Some { Obs.Report.wall_s; mips } in
   { Obs.Report.bench = r.Measure.bench;
     build = Workloads.Suite.build_name r.Measure.build;
     std_cycles = r.Measure.std_cycles;
@@ -21,8 +27,10 @@ let of_result ?(attribution = false) (r : Measure.result) =
             improvement_pct = Measure.improvement r run.Measure.level;
             counters = Om.Stats.to_alist run.Measure.stats;
             attribution = attr run.Measure.image;
-            fault = None })
-        r.Measure.runs }
+            fault = None;
+            host = host ~wall_s:run.Measure.wall_s ~mips:run.Measure.mips })
+        r.Measure.runs;
+    std_host = host ~wall_s:r.Measure.std_wall_s ~mips:r.Measure.std_mips }
 
 let of_matrix ?attribution ?tool results =
   Obs.Report.make ?tool (List.map (of_result ?attribution) results)

@@ -1,0 +1,42 @@
+type progress = {
+  on_start : Workloads.Programs.benchmark -> Workloads.Suite.build -> unit;
+  on_done :
+    Workloads.Programs.benchmark ->
+    Workloads.Suite.build ->
+    (Measure.result, string) Stdlib.result ->
+    unit;
+}
+
+let silent = { on_start = (fun _ _ -> ()); on_done = (fun _ _ _ -> ()) }
+
+let tasks benches =
+  List.concat_map
+    (fun b ->
+      List.map (fun build -> (b, build)) Workloads.Suite.all_builds)
+    benches
+
+(* Anything lazily initialized that every worker touches must be forced
+   before the first [Domain.spawn]; [Runtime.libstd] is the one such
+   value (a toplevel [lazy]). *)
+let warm_up () = ignore (Runtime.libstd ())
+
+let matrix ?jobs ?levels ?(progress = silent) benches =
+  warm_up ();
+  let lock = Mutex.create () in
+  let measure (b, build) =
+    Mutex.protect lock (fun () -> progress.on_start b build);
+    let r = Measure.run_benchmark ?levels build b in
+    Mutex.protect lock (fun () -> progress.on_done b build r);
+    (b, build, r)
+  in
+  Pool.map ?jobs measure (tasks benches)
+
+let results rows =
+  List.filter_map (fun (_, _, r) -> Result.to_option r) rows
+
+let report ?jobs ?attribution ?tool rows =
+  warm_up ();
+  let benches =
+    Pool.map ?jobs (Report_json.of_result ?attribution) (results rows)
+  in
+  Obs.Report.make ?tool benches

@@ -1,0 +1,58 @@
+(** The parallel measurement-matrix runner.
+
+    Fans the benchmark × build matrix over a {!Pool} of domains. Each
+    task is an independent (compile, link, optimize, simulate) pipeline;
+    results come back in task order, so a parallel run produces the same
+    rows — bit-identical cycle counts and attribution — as a serial one,
+    just faster. *)
+
+type progress = {
+  on_start : Workloads.Programs.benchmark -> Workloads.Suite.build -> unit;
+  on_done :
+    Workloads.Programs.benchmark ->
+    Workloads.Suite.build ->
+    (Measure.result, string) Stdlib.result ->
+    unit;
+}
+(** Progress callbacks, invoked under a runner-internal mutex so
+    terminal output from concurrent tasks never interleaves. *)
+
+val silent : progress
+
+val tasks :
+  Workloads.Programs.benchmark list ->
+  (Workloads.Programs.benchmark * Workloads.Suite.build) list
+(** The (bench, build) task list: every benchmark crossed with
+    {!Workloads.Suite.all_builds}, in deterministic order. *)
+
+val matrix :
+  ?jobs:int ->
+  ?levels:Om.level list ->
+  ?progress:progress ->
+  Workloads.Programs.benchmark list ->
+  (Workloads.Programs.benchmark
+  * Workloads.Suite.build
+  * (Measure.result, string) Stdlib.result)
+  list
+(** Measure every task of {!tasks} using up to [jobs] domains (default
+    {!Pool.default_jobs}). One row per task, in task order. *)
+
+val results :
+  (Workloads.Programs.benchmark
+  * Workloads.Suite.build
+  * (Measure.result, string) Stdlib.result)
+  list ->
+  Measure.result list
+(** The successful rows, in order. *)
+
+val report :
+  ?jobs:int ->
+  ?attribution:bool ->
+  ?tool:string ->
+  (Workloads.Programs.benchmark
+  * Workloads.Suite.build
+  * (Measure.result, string) Stdlib.result)
+  list ->
+  Obs.Report.t
+(** {!Report_json.of_matrix} over the successful rows, with the per-image
+    attribution re-simulations themselves fanned over the pool. *)

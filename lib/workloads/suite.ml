@@ -24,15 +24,24 @@ let resolve build b =
   let units = compile build b in
   Linker.Resolve.run units ~archives:[ Runtime.libstd () ]
 
+(* The cache is shared across domains by the parallel suite runner, so
+   every Hashtbl touch happens under the lock. The (deterministic)
+   resolve itself runs outside it; two domains racing on the same key
+   just compute the same value twice and the second insert wins. *)
 let cache : (build * string, Linker.Resolve.t) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
 
 let compile_cached build b =
-  match Hashtbl.find_opt cache (build, b.Programs.name) with
+  let key = (build, b.Programs.name) in
+  let cached =
+    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
+  in
+  match cached with
   | Some w -> w
   | None -> (
       match resolve build b with
       | Ok w ->
-          Hashtbl.replace cache (build, b.Programs.name) w;
+          Mutex.protect cache_lock (fun () -> Hashtbl.replace cache key w);
           w
       | Error m ->
           failwith (Printf.sprintf "suite: %s (%s): %s" b.Programs.name

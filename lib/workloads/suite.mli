@@ -24,4 +24,5 @@ val resolve :
 
 val compile_cached : build -> Programs.benchmark -> Linker.Resolve.t
 (** Like {!resolve} but memoized per (build, benchmark) and raising
-    [Failure] on error — the measurement harness calls this repeatedly. *)
+    [Failure] on error — the measurement harness calls this repeatedly.
+    Safe to call from multiple domains concurrently. *)

@@ -179,6 +179,107 @@ let test_cycles_at_least_insns () =
     (o.Machine.Cpu.stats.Machine.Cpu.cycles
      >= o.Machine.Cpu.stats.Machine.Cpu.insns / 2)
 
+let test_cache_hits_and_reset () =
+  let c = Machine.Cache.create ~size_bytes:128 ~line_bytes:32 in
+  ignore (Machine.Cache.access c 0);
+  ignore (Machine.Cache.access c 8);
+  ignore (Machine.Cache.access c 31);
+  Alcotest.(check int) "two hits on line 0" 2 (Machine.Cache.hits c);
+  Alcotest.(check int) "one miss on line 0" 1 (Machine.Cache.misses c);
+  (* 128 and 0 alias in a 128-byte direct-mapped cache; 32 does not *)
+  Alcotest.(check bool) "line 1 misses" false (Machine.Cache.access c 32);
+  Alcotest.(check bool) "aliased line misses" false
+    (Machine.Cache.access c 128);
+  Alcotest.(check bool) "alias evicted line 0" false
+    (Machine.Cache.access c 0);
+  Alcotest.(check bool) "line 1 survives the alias war" true
+    (Machine.Cache.access c 40);
+  Alcotest.(check int) "hits tallied" 3 (Machine.Cache.hits c);
+  Alcotest.(check int) "misses tallied" 4 (Machine.Cache.misses c);
+  Machine.Cache.reset c;
+  Alcotest.(check int) "reset clears hits" 0 (Machine.Cache.hits c);
+  Alcotest.(check int) "reset clears misses" 0 (Machine.Cache.misses c);
+  Alcotest.(check bool) "reset empties the lines" false
+    (Machine.Cache.access c 40)
+
+let test_unknown_pal () =
+  let image = image_of_insns [ Minic.Masm.Insn (I.Call_pal 0x12) ] in
+  (match Machine.Cpu.run image with
+  | Error (Machine.Cpu.Unknown_pal 0x12) -> ()
+  | Error e -> Alcotest.failf "wrong fault: %a" Machine.Cpu.pp_error e
+  | Ok _ -> Alcotest.fail "expected a fault");
+  match Machine.Cpu.run_reference image with
+  | Error (Machine.Cpu.Unknown_pal 0x12) -> ()
+  | Error e ->
+      Alcotest.failf "reference: wrong fault: %a" Machine.Cpu.pp_error e
+  | Ok _ -> Alcotest.fail "reference: expected a fault"
+
+let test_bad_syscall_is_not_unknown_pal () =
+  (* callsys with a bogus code in v0: Bad_syscall, never Unknown_pal *)
+  let image =
+    image_of_insns
+      [ Minic.Masm.Insn (I.Lda { ra = R.v0; rb = R.zero; disp = 99 });
+        Minic.Masm.Insn (I.Call_pal 0x83) ]
+  in
+  match Machine.Cpu.run image with
+  | Error (Machine.Cpu.Bad_syscall 99L) -> ()
+  | Error e -> Alcotest.failf "wrong fault: %a" Machine.Cpu.pp_error e
+  | Ok _ -> Alcotest.fail "expected a fault"
+
+let test_undecodable_reports_real_pc () =
+  (* corrupt the second instruction word: the fault must carry that PC,
+     not the image base *)
+  let image = image_of_insns (exit_with R.zero) in
+  let text = Bytes.copy image.Linker.Image.text in
+  Bytes.set_int32_le text 4 0x10000000l (* opcode 0x04: unassigned *);
+  let image = { image with Linker.Image.text } in
+  let expect name = function
+    | Error (Machine.Cpu.Undecodable pc) ->
+        Alcotest.(check int)
+          (name ^ " names the offending pc")
+          (image.Linker.Image.text_base + 4)
+          pc
+    | Error e -> Alcotest.failf "%s: wrong fault: %a" name Machine.Cpu.pp_error e
+    | Ok _ -> Alcotest.failf "%s: expected a decode fault" name
+  in
+  expect "fast path" (Machine.Cpu.run image);
+  expect "reference" (Machine.Cpu.run_reference image)
+
+let mask_of_regs regs =
+  List.fold_left
+    (fun m r ->
+      let i = R.to_int r in
+      if i = 31 then m else m lor (1 lsl i))
+    0 regs
+
+let test_masks_match_lists () =
+  let samples =
+    [ I.Lda { ra = R.t0; rb = R.sp; disp = 8 };
+      I.Ldah { ra = R.gp; rb = R.t11; disp = 1 };
+      I.Ldq { ra = R.a0; rb = R.gp; disp = -16 };
+      I.Stq { ra = R.t1; rb = R.sp; disp = 0 };
+      I.Br { ra = R.zero; disp = 3 };
+      I.Bsr { ra = R.ra; disp = -2 };
+      I.Bcond { cond = I.Beq; ra = R.t2; disp = 1 };
+      I.Jump { kind = I.Jsr; ra = R.ra; rb = R.pv; hint = 0 };
+      I.Jump { kind = I.Ret; ra = R.zero; rb = R.ra; hint = 0 };
+      I.Op { op = I.Addq; ra = R.t0; rb = I.Rb R.t1; rc = R.t2 };
+      I.Op { op = I.Subq; ra = R.t3; rb = I.Imm 5; rc = R.zero };
+      I.Call_pal 0x83;
+      I.nop ]
+  in
+  List.iter
+    (fun insn ->
+      Alcotest.(check int)
+        (Format.asprintf "defs mask of %a" I.pp insn)
+        (mask_of_regs (I.defs insn))
+        (I.defs_mask insn);
+      Alcotest.(check int)
+        (Format.asprintf "uses mask of %a" I.pp insn)
+        (mask_of_regs (I.uses insn))
+        (I.uses_mask insn))
+    samples
+
 let suite =
   ( "machine",
     [ Alcotest.test_case "direct-mapped cache" `Quick test_cache;
@@ -191,7 +292,16 @@ let suite =
       Alcotest.test_case "sbrk allocation" `Quick test_sbrk;
       Alcotest.test_case "branch timing" `Quick test_branch_timing;
       Alcotest.test_case "dual issue speeds up" `Quick test_dual_issue_effect;
-      Alcotest.test_case "cycle sanity" `Quick test_cycles_at_least_insns ] )
+      Alcotest.test_case "cycle sanity" `Quick test_cycles_at_least_insns;
+      Alcotest.test_case "cache hits, aliasing, reset" `Quick
+        test_cache_hits_and_reset;
+      Alcotest.test_case "unknown palcode faults" `Quick test_unknown_pal;
+      Alcotest.test_case "bad syscall is not unknown pal" `Quick
+        test_bad_syscall_is_not_unknown_pal;
+      Alcotest.test_case "undecodable fault carries real pc" `Quick
+        test_undecodable_reports_real_pc;
+      Alcotest.test_case "uses/defs masks match lists" `Quick
+        test_masks_match_lists ] )
 
 let test_trace_hook () =
   let image = Testutil.link_std [ Testutil.compile {|func main() { return 3; }|} ] in

@@ -289,14 +289,17 @@ let sample_report () =
               improvement_pct = 19.0;
               counters = [ ("addr_loads", 14); ("gp_setups_deleted", 6) ];
               attribution = None;
-              fault = None };
+              fault = None;
+              host = Some { Obs.Report.wall_s = 0.25; mips = 12.5 } };
             { Obs.Report.level = "om-full+sched";
               cycles = 0;
               insns = 0;
               improvement_pct = 0.;
               counters = [];
               attribution = None;
-              fault = Some "heap exhausted" } ] } ]
+              fault = Some "heap exhausted";
+              host = None } ];
+        std_host = Some { Obs.Report.wall_s = 0.5; mips = 10.0 } } ]
 
 let test_report_roundtrip () =
   let r = sample_report () in
@@ -321,6 +324,43 @@ let test_report_rejects_future_schema () =
   | Error m ->
       Alcotest.(check bool) "error names the version" true
         (Astring.String.is_infix ~affix:"schema_version" m)
+
+let test_report_accepts_v1 () =
+  (* a v1 document predates the host-throughput fields: it must still
+     parse, with [host]/[std_host] surfaced as [None] *)
+  match
+    Obs.Report.of_json
+      (Obs.Json.Obj
+         [ ("schema_version", Obs.Json.Int 1);
+           ("tool", Obs.Json.String "t");
+           ( "results",
+             Obs.Json.List
+               [ Obs.Json.Obj
+                   [ ("bench", Obs.Json.String "b");
+                     ("build", Obs.Json.String "compile-each");
+                     ("std_cycles", Obs.Json.Int 10);
+                     ("std_insns", Obs.Json.Int 5);
+                     ("std_attribution", Obs.Json.Null);
+                     ("std_fault", Obs.Json.Null);
+                     ("outputs_agree", Obs.Json.Bool true);
+                     ( "runs",
+                       Obs.Json.List
+                         [ Obs.Json.Obj
+                             [ ("level", Obs.Json.String "om-full");
+                               ("cycles", Obs.Json.Int 7);
+                               ("insns", Obs.Json.Int 3);
+                               ("improvement_pct", Obs.Json.Float 30.0);
+                               ("counters", Obs.Json.Obj []);
+                               ("attribution", Obs.Json.Null);
+                               ("fault", Obs.Json.Null) ] ] ) ] ] ) ])
+  with
+  | Error m -> Alcotest.failf "v1 document rejected: %s" m
+  | Ok r ->
+      let b = List.hd r.Obs.Report.results in
+      Alcotest.(check bool) "std_host is None" true
+        (b.Obs.Report.std_host = None);
+      Alcotest.(check bool) "run host is None" true
+        ((List.hd b.Obs.Report.runs).Obs.Report.host = None)
 
 let test_suite_json_roundtrip () =
   (* the exact path behind [omlink suite --json]: measure, convert, print,
@@ -370,5 +410,7 @@ let suite =
       Alcotest.test_case "report round-trip" `Quick test_report_roundtrip;
       Alcotest.test_case "report rejects future schema" `Quick
         test_report_rejects_future_schema;
+      Alcotest.test_case "report accepts v1 documents" `Quick
+        test_report_accepts_v1;
       Alcotest.test_case "suite --json round-trip" `Quick
         test_suite_json_roundtrip ] )
