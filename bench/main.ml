@@ -7,6 +7,7 @@
      bench/main.exe fig3       one figure: fig3 fig4 fig5 fig6 fig7 gat
      bench/main.exe summary    headline numbers vs. the paper
      bench/main.exe micro      run the Bechamel micro-benchmarks only
+     bench/main.exe relink     cold vs warm link-service relink times
      bench/main.exe quick      figures from a 5-benchmark subset
      bench/main.exe check-report   validate BENCH_report.json parses
 
@@ -228,6 +229,33 @@ let ablation () =
           print_newline ())
     benches
 
+(* --- cold vs warm relink through the link service (schema v3) --- *)
+
+let relink_rows quick =
+  List.filter_map
+    (fun (b : Workloads.Programs.benchmark) ->
+      Printf.eprintf "[bench] relink %-10s\r%!" b.name;
+      match Server.Engine.relink_timings b with
+      | Ok r -> Some (b.name, r)
+      | Error m ->
+          Printf.eprintf "[bench] relink %s failed: %s\n%!" b.name m;
+          None)
+    (selected_benchmarks quick)
+
+let print_relink quick =
+  let rows = relink_rows quick in
+  Printf.printf
+    "Link-service build times: cold (empty store) vs warm relink after a\n\
+     one-module edit (every unchanged lift served from the artifact store):\n\n";
+  Printf.printf "%-10s %10s %10s %8s\n" "program" "cold (ms)" "warm (ms)"
+    "speedup";
+  List.iter
+    (fun (name, (r : Obs.Report.relink)) ->
+      Printf.printf "%-10s %10.2f %10.2f %7.1fx\n" name (1e3 *. r.cold_s)
+        (1e3 *. r.warm_s)
+        (if r.warm_s > 0. then r.cold_s /. r.warm_s else 0.))
+    rows
+
 (* --- machine-readable report (the perf trajectory) --- *)
 
 let report_path = "BENCH_report.json"
@@ -237,6 +265,18 @@ let write_report quick =
   Printf.eprintf "[bench] profiling for cycle attribution...\n%!";
   let report =
     Reports.Runner.report ?jobs:!jobs ~attribution:true ~tool:"omlt-bench" rows
+  in
+  Printf.eprintf "[bench] timing cold vs warm relinks...\n%!";
+  let relinks = relink_rows quick in
+  let report =
+    { report with
+      Obs.Report.results =
+        List.map
+          (fun (b : Obs.Report.bench) ->
+            match List.assoc_opt b.Obs.Report.bench relinks with
+            | Some r -> { b with Obs.Report.relink = Some r }
+            | None -> b)
+          report.Obs.Report.results }
   in
   Obs.Report.write report_path report;
   Printf.eprintf "[bench] wrote %s (schema v%d, %d results)\n%!" report_path
@@ -318,6 +358,7 @@ let () =
   match cmd with
   | "micro" -> micro ()
   | "ablation" -> ablation ()
+  | "relink" -> print_relink true
   | "check-report" -> check_report ()
   | "quick" ->
       print_figures true "all";
@@ -333,6 +374,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, \
-         ablation, check-report, all)\n"
+         ablation, relink, check-report, all)\n"
         other;
       exit 2

@@ -1,8 +1,28 @@
 (* omlink — the command-line face of the system: a minic compiler, a
-   standard linker, the OM optimizing linker, a disassembler and the
-   machine simulator, in one binary. *)
+   standard linker, the OM optimizing linker, a disassembler, the
+   machine simulator, and the client/server halves of the persistent
+   link service, in one binary. *)
 
 open Cmdliner
+
+(* The CLI's one error-handling seam: command bodies are thunks
+   returning a [result]; stray exceptions from the toolchain layers are
+   converted to [Error] here, and Cmdliner renders the message as
+   [omlink: message] on stderr and exits with its error status instead
+   of dumping an uncaught-exception backtrace. *)
+let reporting term =
+  Term.term_result'
+    (Term.app
+       (Term.const (fun thunk ->
+            try thunk () with
+            | Minic.Driver.Error m
+            | Failure m
+            | Sys_error m
+            | Invalid_argument m ->
+                Error m))
+       term)
+
+let ( let* ) = Result.bind
 
 let read_file path =
   let ic = open_in_bin path in
@@ -12,13 +32,23 @@ let read_file path =
 (* Inputs may be minic sources (.mc) or serialized objects (.o). *)
 let load_unit path =
   if Filename.check_suffix path ".mc" then
-    Minic.Driver.compile_module ~prelude:Runtime.prelude
-      ~name:(Filename.remove_extension (Filename.basename path) ^ ".o")
-      (read_file path)
+    Ok
+      (Minic.Driver.compile_module ~prelude:Runtime.prelude
+         ~name:(Filename.remove_extension (Filename.basename path) ^ ".o")
+         (read_file path))
   else
     match Objfile.Obj_io.load path with
-    | Ok u -> u
-    | Error m -> failwith (Printf.sprintf "%s: %s" path m)
+    | Ok u -> Ok u
+    | Error m -> Error (Printf.sprintf "%s: %s" path m)
+
+let load_units files =
+  List.fold_left
+    (fun acc f ->
+      let* acc = acc in
+      let* u = load_unit f in
+      Ok (u :: acc))
+    (Ok []) files
+  |> Result.map List.rev
 
 let level_conv =
   let parse = function
@@ -44,11 +74,6 @@ let level_arg =
     & opt level_conv (`Om Om.Full)
     & info [ "l"; "level" ] ~docv:"LEVEL"
         ~doc:"Link level: std, noopt, simple, full, sched.")
-
-let handle_errors f =
-  try f () with Failure m | Invalid_argument m | Sys_error m ->
-    Printf.eprintf "omlink: %s\n" m;
-    exit 1
 
 (* --- pass tracing (shared by run/stats/profile) --- *)
 
@@ -97,8 +122,7 @@ let compile_cmd =
              ~doc:"Optimistic compilation: address scalar globals directly \
                    GP-relative; the link fails if they don't fit the window.")
   in
-  let run files out merged o0 optimistic =
-    handle_errors @@ fun () ->
+  let run files out merged o0 optimistic () =
     let opt = if o0 then Minic.Driver.O0 else Minic.Driver.O2 in
     let units =
       if merged then
@@ -121,39 +145,42 @@ let compile_cmd =
         Printf.printf "wrote %s (%d instructions, %d GAT entries)\n" path
           (Objfile.Cunit.insn_count u)
           (Array.length u.gat))
-      units
+      units;
+    Ok ()
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile minic sources to object modules.")
-    Term.(const run $ files_arg $ out $ merged $ o0 $ optimistic)
+    (reporting
+       Term.(const run $ files_arg $ out $ merged $ o0 $ optimistic))
 
 (* --- dis --- *)
 
 let dis_cmd =
-  let run files =
-    handle_errors @@ fun () ->
-    List.iter
-      (fun f -> Format.printf "%a@." Objfile.Cunit.pp (load_unit f))
-      files
+  let run files () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        let* u = load_unit f in
+        Format.printf "%a@." Objfile.Cunit.pp u;
+        Ok ())
+      (Ok ()) files
   in
   Cmd.v
     (Cmd.info "dis" ~doc:"Disassemble object modules with their relocations.")
-    Term.(const run $ files_arg)
+    (reporting Term.(const run $ files_arg))
 
 (* --- link / run --- *)
 
 let link_images level files =
-  let units = List.map load_unit files in
+  let* units = load_units files in
   let archives = [ Runtime.libstd () ] in
   match level with
-  | `Std -> (
-      match Linker.Link.link units ~archives with
-      | Ok image -> (image, None)
-      | Error m -> failwith m)
-  | `Om l -> (
-      match Om.link ~level:l units ~archives with
-      | Ok { Om.image; stats } -> (image, Some stats)
-      | Error m -> failwith m)
+  | `Std ->
+      let* image = Linker.Link.link units ~archives in
+      Ok (image, None)
+  | `Om l ->
+      let* { Om.image; stats } = Om.link ~level:l units ~archives in
+      Ok (image, Some stats)
 
 let run_cmd =
   let show_stats =
@@ -162,10 +189,9 @@ let run_cmd =
   let show_timing =
     Arg.(value & flag & info [ "timing" ] ~doc:"Print simulated cycle counts.")
   in
-  let run files level show_stats show_timing tr =
-    handle_errors @@ fun () ->
+  let run files level show_stats show_timing tr () =
     (* trace the link only: the command exits inside the simulation branch *)
-    let image, stats = with_tracing tr (fun () -> link_images level files) in
+    let* image, stats = with_tracing tr (fun () -> link_images level files) in
     (match (show_stats, stats) with
     | true, Some s -> Format.printf "%a@." Om.Stats.pp s
     | true, None -> Format.printf "(standard link: no optimizer statistics)@."
@@ -182,26 +208,26 @@ let run_cmd =
             o.Machine.Cpu.stats.Machine.Cpu.dcache_misses;
         exit (Int64.to_int o.Machine.Cpu.exit_code land 0xff)
     | Error e ->
-        Format.eprintf "omlink: simulation fault: %a@." Machine.Cpu.pp_error e;
-        exit 1
+        Error (Format.asprintf "simulation fault: %a" Machine.Cpu.pp_error e)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Link (with libstd) and execute on the machine simulator.")
-    Term.(const run $ files_arg $ level_arg $ show_stats $ show_timing
-          $ trace_term)
+    (reporting
+       Term.(const run $ files_arg $ level_arg $ show_stats $ show_timing
+             $ trace_term))
 
 (* --- text dump of the linked image --- *)
 
 let image_cmd =
-  let run files level =
-    handle_errors @@ fun () ->
-    let image, _ = link_images level files in
-    Format.printf "%a@." Linker.Image.pp_disassembly image
+  let run files level () =
+    let* image, _ = link_images level files in
+    Format.printf "%a@." Linker.Image.pp_disassembly image;
+    Ok ()
   in
   Cmd.v
     (Cmd.info "image" ~doc:"Print the disassembled linked image.")
-    Term.(const run $ files_arg $ level_arg)
+    (reporting Term.(const run $ files_arg $ level_arg))
 
 (* --- stats: compare every level for the given program --- *)
 
@@ -211,21 +237,12 @@ let stats_cmd =
          & info [ "json" ]
              ~doc:"Emit the comparison as schema-versioned JSON on stdout.")
   in
-  let run files json tr =
-    handle_errors @@ fun () ->
+  let run files json tr () =
     with_tracing tr @@ fun () ->
-    let units = List.map load_unit files in
+    let* units = load_units files in
     let archives = [ Runtime.libstd () ] in
-    let world =
-      match Linker.Resolve.run units ~archives with
-      | Ok w -> w
-      | Error m -> failwith m
-    in
-    let std =
-      match Linker.Link.link_resolved world with
-      | Ok i -> i
-      | Error m -> failwith m
-    in
+    let* world = Linker.Resolve.run units ~archives in
+    let* std = Linker.Link.link_resolved world in
     (* a simulation fault is a result, not a number: carry the message *)
     let run_cycles image =
       match Machine.Cpu.run image with
@@ -287,9 +304,11 @@ let stats_cmd =
               std_fault;
               outputs_agree = true;
               runs;
-              std_host = None } ]
+              std_host = None;
+              relink = None } ]
       in
-      print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+      print_endline (Obs.Json.to_string (Obs.Report.to_json report));
+      Ok ()
     end
     else begin
       let cycles_cell = function
@@ -317,21 +336,22 @@ let stats_cmd =
                 Format.printf "  %a@." Om.Stats.pp stats
           | Error m ->
               Printf.printf "%-14s failed: %s\n" (Om.level_name level) m)
-        levels
+        levels;
+      Ok ()
     end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Link at every optimization level and compare size and cycles.")
-    Term.(const run $ files_arg $ json_flag $ trace_term)
+    (reporting Term.(const run $ files_arg $ json_flag $ trace_term))
 
 (* --- profile: per-procedure cycle attribution --- *)
 
 let find_benchmark n =
   match Workloads.Programs.find n with
-  | Some b -> b
+  | Some b -> Ok b
   | None ->
-      failwith
+      Error
         (Printf.sprintf "unknown benchmark %s (know: %s)" n
            (String.concat ", " Workloads.Programs.names))
 
@@ -353,52 +373,48 @@ let profile_cmd =
     Arg.(value & opt int 12
          & info [ "top" ] ~docv:"N" ~doc:"Procedure rows to print.")
   in
-  let run files bench json top tr =
-    handle_errors @@ fun () ->
+  let run files bench json top tr () =
     with_tracing tr @@ fun () ->
-    let what, world =
+    let* what, world =
       match (bench, files) with
-      | Some n, [] -> (
-          let b = find_benchmark n in
-          match Workloads.Suite.resolve Workloads.Suite.Compile_each b with
-          | Ok w -> (n, w)
-          | Error m -> failwith m)
-      | None, (_ :: _ as files) -> (
-          let units = List.map load_unit files in
-          match Linker.Resolve.run units ~archives:[ Runtime.libstd () ] with
-          | Ok w -> (String.concat "," files, w)
-          | Error m -> failwith m)
-      | Some _, _ :: _ -> failwith "give either input files or --bench, not both"
-      | None, [] -> failwith "nothing to profile: give input files or --bench NAME"
+      | Some n, [] ->
+          let* b = find_benchmark n in
+          let* w = Workloads.Suite.resolve Workloads.Suite.Compile_each b in
+          Ok (n, w)
+      | None, (_ :: _ as files) ->
+          let* units = load_units files in
+          let* w =
+            Linker.Resolve.run units ~archives:[ Runtime.libstd () ]
+          in
+          Ok (String.concat "," files, w)
+      | Some _, _ :: _ ->
+          Error "give either input files or --bench, not both"
+      | None, [] -> Error "nothing to profile: give input files or --bench NAME"
     in
-    let std =
-      match Linker.Link.link_resolved world with
-      | Ok i -> i
-      | Error m -> failwith m
-    in
-    let full =
-      match Om.optimize_resolved Om.Full world with
-      | Ok { Om.image; _ } -> image
-      | Error m -> failwith m
+    let* std = Linker.Link.link_resolved world in
+    let* full =
+      Result.map (fun o -> o.Om.image) (Om.optimize_resolved Om.Full world)
     in
     let profile name image =
       match Obs.Attr.run image with
-      | Ok p -> p
+      | Ok p -> Ok p
       | Error e ->
-          failwith
+          Error
             (Format.asprintf "%s: simulation fault: %a" name
                Machine.Cpu.pp_error e)
     in
-    let pstd = profile "standard" std in
-    let pfull = profile "om-full" full in
-    if json then
+    let* pstd = profile "standard" std in
+    let* pfull = profile "om-full" full in
+    if json then begin
       print_endline
         (Obs.Json.to_string
            (Obs.Json.Obj
               [ ("schema_version", Obs.Json.Int Obs.Report.schema_version);
                 ("program", Obs.Json.String what);
                 ("standard", Obs.Attr.to_json pstd);
-                ("om-full", Obs.Attr.to_json pfull) ]))
+                ("om-full", Obs.Attr.to_json pfull) ]));
+      Ok ()
+    end
     else begin
       Format.printf "%s: standard link@.%a@.@." what (Obs.Attr.pp ~top) pstd;
       Format.printf "om-full@.%a@.@." (Obs.Attr.pp ~top) pfull;
@@ -418,7 +434,8 @@ let profile_cmd =
         *. float_of_int
              (pfull.Obs.Attr.totals.Obs.Attr.p_cycles
              - pstd.Obs.Attr.totals.Obs.Attr.p_cycles)
-        /. float_of_int (max 1 pstd.Obs.Attr.totals.Obs.Attr.p_cycles))
+        /. float_of_int (max 1 pstd.Obs.Attr.totals.Obs.Attr.p_cycles));
+      Ok ()
     end
   in
   Cmd.v
@@ -427,7 +444,8 @@ let profile_cmd =
          "Simulate under the cycle-attribution profiler: per-procedure \
           cycles and the paper's address-calculation categories, standard \
           link vs OM-full.")
-    Term.(const run $ files $ bench $ json_flag $ top $ trace_term)
+    (reporting
+       Term.(const run $ files $ bench $ json_flag $ top $ trace_term))
 
 (* --- suite --- *)
 
@@ -460,12 +478,11 @@ let suite_cmd =
                    environment variable also overrides it). Results are \
                    identical to a serial run.")
   in
-  let run bench json attr out jobs =
-    handle_errors @@ fun () ->
-    let benches =
+  let run bench json attr out jobs () =
+    let* benches =
       match bench with
-      | Some n -> [ find_benchmark n ]
-      | None -> Workloads.Programs.all
+      | Some n -> Result.map (fun b -> [ b ]) (find_benchmark n)
+      | None -> Ok Workloads.Programs.all
     in
     (* progress (and failures) stream to stderr as tasks finish; result
        rows print to stdout afterwards, in task order, so the output is
@@ -482,7 +499,7 @@ let suite_cmd =
                   (Workloads.Suite.build_name build) m) }
     in
     let rows = Reports.Runner.matrix ?jobs ~progress benches in
-    if not json then
+    if not json then begin
       List.iter
         (fun ((b : Workloads.Programs.benchmark), build, r) ->
           match r with
@@ -499,17 +516,237 @@ let suite_cmd =
                           (Reports.Measure.improvement r run.level))
                       r.Reports.Measure.runs))
                 r.Reports.Measure.outputs_agree)
-        rows
+        rows;
+      Ok ()
+    end
     else begin
       let report = Reports.Runner.report ?jobs ~attribution:attr rows in
-      match out with
+      (match out with
       | Some path -> Obs.Report.write path report
-      | None -> print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+      | None -> print_endline (Obs.Json.to_string (Obs.Report.to_json report)));
+      Ok ()
     end
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run the SPEC92-analogue benchmark matrix.")
-    Term.(const run $ bench $ json_flag $ attr_flag $ out $ jobs)
+    (reporting
+       Term.(const run $ bench $ json_flag $ attr_flag $ out $ jobs))
+
+(* --- serve: the persistent link daemon --- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path (default: \\$OMLT_SOCKET or \
+                 omlinkd.sock).")
+
+let serve_cmd =
+  let deadline =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline; requests that exceed it get \
+                   a structured timeout error. Clients may override per \
+                   request.")
+  in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Artifact store directory (default: \\$OMLT_STORE or \
+                   _omstore; $(b,none) keeps the store in memory only).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No startup/shutdown chatter.")
+  in
+  let run socket deadline store_dir quiet () =
+    let store =
+      match store_dir with
+      | None -> Store.create ()
+      | Some "none" | Some "" -> Store.in_memory ()
+      | Some d -> Store.create ~dir:(Some d) ()
+    in
+    let engine = Server.Engine.create ~store () in
+    let log = if quiet then ignore else fun m -> Printf.eprintf "%s\n%!" m in
+    Server.Daemon.serve ~engine ?socket ?default_deadline_ms:deadline ~log ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run omlinkd, the persistent link service: an artifact store plus \
+          incremental relinking behind a Unix-domain socket.")
+    (reporting Term.(const run $ socket_arg $ deadline $ store_dir $ quiet))
+
+(* --- client: talk to a running omlinkd --- *)
+
+let err_string (e : Server.Protocol.err) =
+  Printf.sprintf "%s [%s]" e.Server.Protocol.message e.Server.Protocol.code
+
+let with_daemon socket f =
+  Result.join (Server.Client.with_connection ?socket f)
+
+let deadline_arg =
+  Arg.(value & opt (some int) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Fail the request with a timeout error after $(docv).")
+
+let client_ping_cmd =
+  let delay =
+    Arg.(value & opt int 0
+         & info [ "delay-ms" ] ~docv:"MS"
+             ~doc:"Ask the server to sleep before replying (deadline \
+                   testing).")
+  in
+  let run socket deadline delay () =
+    with_daemon socket @@ fun fd ->
+    match Server.Client.ping fd ?deadline_ms:deadline ~delay_ms:delay () with
+    | Ok _ -> print_endline "pong"; Ok ()
+    | Error e -> Error (err_string e)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Round-trip a ping through the daemon.")
+    (reporting Term.(const run $ socket_arg $ deadline_arg $ delay))
+
+let client_link_cmd =
+  let level =
+    Arg.(value & opt string "full"
+         & info [ "l"; "level" ] ~docv:"LEVEL"
+             ~doc:"Link level: std, noopt, simple, full, sched.")
+  in
+  let entry =
+    Arg.(value & opt (some string) None
+         & info [ "entry" ] ~docv:"SYM" ~doc:"Entry procedure.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o" ] ~docv:"OUT" ~doc:"Write the serialized image to $(docv).")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Ask for pass spans and print them.")
+  in
+  let run files socket deadline level entry out trace () =
+    (* the daemon resolves paths itself, so hand it absolute ones *)
+    let files =
+      List.map
+        (fun f ->
+          if Filename.is_relative f then Filename.concat (Sys.getcwd ()) f
+          else f)
+        files
+    in
+    with_daemon socket @@ fun fd ->
+    match
+      Server.Client.link fd ?deadline_ms:deadline ~trace ?entry ~level files
+    with
+    | Error e -> Error (err_string e)
+    | Ok (bytes, fields) ->
+        let get name conv =
+          Option.bind (Server.Client.field name fields) conv
+        in
+        Printf.printf "linked %s: %d insns in %.3fs (%s, image %s)\n"
+          (Option.value ~default:"?" (get "level" Obs.Json.get_string))
+          (Option.value ~default:0 (get "insns" Obs.Json.get_int))
+          (Option.value ~default:0. (get "elapsed_s" Obs.Json.get_float))
+          (if Option.value ~default:false (get "image_hit" Obs.Json.get_bool)
+           then "cache hit" else "cache miss")
+          (Option.value ~default:"?" (get "image_digest" Obs.Json.get_string));
+        (match Server.Client.field "trace" fields with
+        | Some (Obs.Json.List spans) ->
+            List.iter
+              (fun s ->
+                match
+                  ( Option.bind (Obs.Json.member "name" s) Obs.Json.get_string,
+                    Option.bind (Obs.Json.member "dur_us" s)
+                      Obs.Json.get_float )
+                with
+                | Some name, Some dur ->
+                    Printf.printf "  %-24s %10.0f us\n" name dur
+                | _ -> ())
+              spans
+        | _ -> ());
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out_bin path in
+            Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+            output_string oc bytes;
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length bytes));
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "link" ~doc:"Link through the daemon (warm caches and all).")
+    (reporting
+       Term.(const run $ files_arg $ socket_arg $ deadline_arg $ level $ entry
+             $ out $ trace))
+
+let client_stats_cmd =
+  let run socket () =
+    with_daemon socket @@ fun fd ->
+    match Server.Client.stats fd with
+    | Error e -> Error (err_string e)
+    | Ok fields ->
+        print_endline (Obs.Json.to_string (Obs.Json.Obj fields));
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print daemon uptime and artifact-store counters.")
+    (reporting Term.(const run $ socket_arg))
+
+let client_suite_cmd =
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ] ~docv:"NAME" ~doc:"Run a single benchmark.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Parallel domains on the server.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the report JSON to $(docv) instead of stdout.")
+  in
+  let run socket deadline bench jobs out () =
+    with_daemon socket @@ fun fd ->
+    match
+      Server.Client.roundtrip fd
+        (Server.Protocol.request ?deadline_ms:deadline
+           (Server.Protocol.Suite { bench; jobs }))
+    with
+    | Error e -> Error (err_string e)
+    | Ok fields -> (
+        match Server.Client.field "report" fields with
+        | None -> Error "suite reply carries no report"
+        | Some report ->
+            let text = Obs.Json.to_string report in
+            (match out with
+            | None -> print_endline text
+            | Some path ->
+                let oc = open_out_bin path in
+                Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+                output_string oc text;
+                output_char oc '\n');
+            Ok ())
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run the benchmark matrix on the daemon.")
+    (reporting
+       Term.(const run $ socket_arg $ deadline_arg $ bench $ jobs $ out))
+
+let client_shutdown_cmd =
+  let run socket () =
+    with_daemon socket @@ fun fd ->
+    match Server.Client.shutdown fd with
+    | Ok _ -> Ok ()
+    | Error e -> Error (err_string e)
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop the daemon.")
+    (reporting Term.(const run $ socket_arg))
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running omlinkd (see $(b,omlink serve)).")
+    [ client_ping_cmd; client_link_cmd; client_stats_cmd; client_suite_cmd;
+      client_shutdown_cmd ]
 
 let main =
   Cmd.group
@@ -518,6 +755,6 @@ let main =
          "Link-time optimization of address calculation on a 64-bit \
           architecture (Srivastava & Wall, PLDI 1994), reproduced.")
     [ compile_cmd; dis_cmd; run_cmd; image_cmd; stats_cmd; profile_cmd;
-      suite_cmd ]
+      suite_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

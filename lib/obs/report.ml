@@ -1,14 +1,17 @@
 (* v1: the original schema. v2 adds the optional host-throughput fields
-   ([host] on each run, [std_host] on each bench); the reader accepts
-   both versions, mapping absent fields to [None]. *)
-let schema_version = 2
+   ([host] on each run, [std_host] on each bench); v3 adds the optional
+   [relink] field on each bench (cold vs warm link-service timings). The
+   reader accepts all three versions, mapping absent fields to [None]. *)
+let schema_version = 3
 
-let accepted_versions = [ 1; 2 ]
+let accepted_versions = [ 1; 2; 3 ]
 
 type bucket = { insns : int; cycles : int }
 type attribution = (string * bucket) list
 
 type host = { wall_s : float; mips : float }
+
+type relink = { cold_s : float; warm_s : float }
 
 type run = {
   level : string;
@@ -31,6 +34,7 @@ type bench = {
   outputs_agree : bool;
   runs : run list;
   std_host : host option;
+  relink : relink option;
 }
 
 type t = {
@@ -64,6 +68,12 @@ let attribution_json = function
              ))
            a)
 
+let relink_json = function
+  | None -> Json.Null
+  | Some r ->
+      Json.Obj
+        [ ("cold_s", Json.Float r.cold_s); ("warm_s", Json.Float r.warm_s) ]
+
 let host_json = function
   | None -> Json.Null
   | Some h ->
@@ -91,7 +101,8 @@ let bench_json b =
       ("std_fault", opt_string b.std_fault);
       ("outputs_agree", Json.Bool b.outputs_agree);
       ("runs", Json.List (List.map run_json b.runs));
-      ("std_host", host_json b.std_host) ]
+      ("std_host", host_json b.std_host);
+      ("relink", relink_json b.relink) ]
 
 let to_json t =
   Json.Obj
@@ -160,6 +171,15 @@ let host_of_json name j =
       let* mips = field "mips" Json.get_float v in
       Ok (Some { wall_s; mips })
 
+(* Absent before v3, so a missing field is [None], not an error. *)
+let relink_of_json j =
+  match Json.member "relink" j with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+      let* cold_s = field "cold_s" Json.get_float v in
+      let* warm_s = field "warm_s" Json.get_float v in
+      Ok (Some { cold_s; warm_s })
+
 let run_of_json j =
   let* level = field "level" Json.get_string j in
   let* cycles = field "cycles" Json.get_int j in
@@ -189,6 +209,7 @@ let bench_of_json j =
       (Ok []) run_list
   in
   let* std_host = host_of_json "std_host" j in
+  let* relink = relink_of_json j in
   Ok
     { bench;
       build;
@@ -198,7 +219,8 @@ let bench_of_json j =
       std_fault;
       outputs_agree;
       runs = List.rev runs;
-      std_host }
+      std_host;
+      relink }
 
 let of_json j =
   let* version = field "schema_version" Json.get_int j in

@@ -11,11 +11,13 @@
     The schema is deliberately self-describing: {!of_json} refuses
     documents whose [schema_version] it does not understand, and
     {!to_json}/{!of_json} round-trip exactly. Version 2 added the
-    optional host-throughput fields ([host], [std_host]); the reader
-    still accepts v1 documents, surfacing those fields as [None]. *)
+    optional host-throughput fields ([host], [std_host]); version 3
+    added the optional cold-vs-warm link-service timings ([relink]); the
+    reader still accepts v1/v2 documents, surfacing those fields as
+    [None]. *)
 
 val schema_version : int
-(** The version {!make} stamps on new reports (currently 2). *)
+(** The version {!make} stamps on new reports (currently 3). *)
 
 val accepted_versions : int list
 (** The versions {!of_json} understands. *)
@@ -28,6 +30,11 @@ type attribution = (string * bucket) list
 type host = { wall_s : float; mips : float }
 (** Host-side throughput of the simulation itself: wall-clock seconds
     and simulated millions of instructions per second. *)
+
+type relink = { cold_s : float; warm_s : float }
+(** Link-service timings for the same program: a cold link (empty
+    artifact store) vs a warm incremental relink after a one-module
+    edit (cached lifts for every unchanged module). *)
 
 type run = {
   level : string;            (** {!Om.level_name}, e.g. ["om-full"] *)
@@ -50,6 +57,7 @@ type bench = {
   outputs_agree : bool;
   runs : run list;
   std_host : host option;    (** absent in v1 documents *)
+  relink : relink option;    (** absent before v3 *)
 }
 
 type t = {

@@ -6,9 +6,39 @@
     pairs and their anchor addresses, and procedure descriptors give
     boundaries. Everything else decodes to concrete instructions, with
     PC-relative branches re-expressed against labels so that code can move
-    without breaking displacements. *)
+    without breaking displacements.
+
+    Lifting runs in two phases so that the expensive half can be reused
+    across links. {!lift_module} sees a single compilation unit: it
+    decodes the text, checks procedure coverage, and folds relocations
+    into a module-local symbolic form in which symbols are still names and
+    labels are module-local — the result depends only on the unit's
+    content, so the artifact store caches it under the unit's digest.
+    {!instantiate} stitches such module lifts into a {!Symbolic.program}
+    against a resolved world, resolving names to targets and renumbering
+    labels and nodes program-wide. An incremental relink therefore
+    re-lifts only the modules whose content changed. *)
+
+type module_sym
+(** The module-local symbolic form of one compilation unit. Plain
+    immutable data, independent of the rest of the program; serializable
+    with [Marshal]. *)
+
+val lift_module : Objfile.Cunit.t -> (module_sym, string) result
+(** Lift one unit in isolation. Fails if the module's text is not fully
+    covered by procedure symbols, a relocation is inconsistent, or a
+    branch leaves the module text. *)
+
+val instantiate :
+  Linker.Resolve.t -> module_sym array -> (Symbolic.program, string) result
+(** Build the program form from per-module lifts, one per world module in
+    order. Fails if a lifted module does not match the corresponding
+    world module (e.g. a stale cache entry) or a symbol fails to
+    resolve. *)
+
+val lift_world : Linker.Resolve.t -> (module_sym array, string) result
+(** {!lift_module} over every module of the world, in order. *)
 
 val run : Linker.Resolve.t -> (Symbolic.program, string) result
-(** Lift every procedure of the resolved program. Fails if a module's text
-    is not fully covered by procedure symbols, a relocation is
-    inconsistent, or a branch leaves the program text. *)
+(** Lift every procedure of the resolved program:
+    [lift_world |> instantiate]. *)

@@ -54,14 +54,16 @@ let stats_delta stats snapshot () =
   snapshot := now;
   delta
 
-let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
-  Obs.Trace.span ("om:" ^ level_name level) @@ fun () ->
+(* The back half of the pipeline: everything after lifting. Callers that
+   lift incrementally (the link service reuses cached per-module lifts)
+   enter here with a freshly instantiated program; note the transform
+   mutates it, so a program instance is good for one optimization only. *)
+let optimize_program ?transform_options level (program : S.program) =
+  let world = program.S.world in
   let topts =
     Option.value transform_options ~default:Transform.default_options
   in
-  match Obs.Trace.span "lift" (fun () -> Lift.run world) with
-  | Error m -> Error ("om: lift: " ^ m)
-  | Ok program -> (
+  (
       let merged = Obs.Trace.span "gat-merge" (fun () -> Linker.Gat.merge world) in
       let merged_group_bytes =
         Array.init merged.Linker.Gat.ngroups (fun g ->
@@ -134,6 +136,12 @@ let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
           match Obs.Trace.span "verify" (fun () -> Verify.check image) with
           | Ok () -> Ok { image; stats }
           | Error m -> Error ("om: verify: " ^ m)))
+
+let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
+  Obs.Trace.span ("om:" ^ level_name level) @@ fun () ->
+  match Obs.Trace.span "lift" (fun () -> Lift.run world) with
+  | Error m -> Error ("om: lift: " ^ m)
+  | Ok program -> optimize_program ?transform_options level program
 
 let link ?(level = Full) ?entry units ~archives =
   Result.bind

@@ -47,3 +47,11 @@ val optimize_resolved :
 (** The back half of {!link}, for callers that already resolved the
     program (shared with the measurement harness, which resolves once and
     links many ways). *)
+
+val optimize_program :
+  ?transform_options:Transform.options -> level -> Symbolic.program ->
+  (output, string) result
+(** The back half of {!optimize_resolved}, for callers that already
+    lifted (the link service instantiates cached per-module lifts and
+    enters here). The transform mutates the program in place, so each
+    program instance is good for a single optimization. *)

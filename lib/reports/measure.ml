@@ -23,24 +23,26 @@ type result = {
 }
 
 (* One decode per distinct image, shared across the suite/profile/bench
-   harnesses and across domains. Keyed structurally: identical images
-   (e.g. the same benchmark re-measured) hit the same entry. *)
-let decoded : (Linker.Image.t, Machine.Decoded.t) Hashtbl.t =
-  Hashtbl.create 64
+   harnesses and across domains. Keyed by the image's content digest
+   (the store's digest function): identical images (e.g. the same
+   benchmark re-measured) hit the same entry, and a lookup hashes the
+   image's serialized bytes once instead of structurally traversing the
+   whole [Linker.Image.t]. *)
+let decoded : (string, Machine.Decoded.t) Hashtbl.t = Hashtbl.create 64
 
 let decoded_lock = Mutex.create ()
 
 let decode_cached image =
+  let key = Store.Codec.image_digest image in
   let cached =
-    Mutex.protect decoded_lock (fun () -> Hashtbl.find_opt decoded image)
+    Mutex.protect decoded_lock (fun () -> Hashtbl.find_opt decoded key)
   in
   match cached with
   | Some d -> Ok d
   | None -> (
       match Machine.Cpu.decode image with
       | Ok d ->
-          Mutex.protect decoded_lock (fun () ->
-              Hashtbl.replace decoded image d);
+          Mutex.protect decoded_lock (fun () -> Hashtbl.replace decoded key d);
           Ok d
       | Error _ as e -> e)
 

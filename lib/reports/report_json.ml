@@ -30,7 +30,8 @@ let of_result ?(attribution = false) (r : Measure.result) =
             fault = None;
             host = host ~wall_s:run.Measure.wall_s ~mips:run.Measure.mips })
         r.Measure.runs;
-    std_host = host ~wall_s:r.Measure.std_wall_s ~mips:r.Measure.std_mips }
+    std_host = host ~wall_s:r.Measure.std_wall_s ~mips:r.Measure.std_mips;
+    relink = None }
 
 let of_matrix ?attribution ?tool results =
   Obs.Report.make ?tool (List.map (of_result ?attribution) results)

@@ -1,0 +1,61 @@
+(* The client side of the wire: connect, one request/one reply, and a
+   typed helper for the common link call. *)
+
+module P = Protocol
+module Json = Obs.Json
+
+let connect ?socket () =
+  let path = match socket with Some s -> s | None -> Daemon.default_socket () in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "%s: %s (is omlinkd running? start it with `omlink serve`)"
+           path (Unix.error_message e))
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let with_connection ?socket f =
+  match connect ?socket () with
+  | Error m -> Error m
+  | Ok fd -> Fun.protect ~finally:(fun () -> close fd) (fun () -> Ok (f fd))
+
+let roundtrip fd (env : P.envelope) =
+  match P.send fd (P.request_to_json env) with
+  | () -> (
+      match P.recv fd with
+      | P.Frame j -> P.response_result j
+      | P.Eof ->
+          Error { P.code = "connection"; message = "server closed the connection" }
+      | P.Bad m -> Error { P.code = "protocol"; message = m })
+  | exception Unix.Unix_error (e, _, _) ->
+      Error { P.code = "connection"; message = Unix.error_message e }
+
+let field name fields = List.assoc_opt name fields
+
+(* Link [files] through the daemon and return the raw serialized image
+   bytes alongside the full reply fields. *)
+let link fd ?deadline_ms ?trace ?entry ~level files =
+  let env =
+    P.request ?deadline_ms ?trace (P.Link { files; level; entry })
+  in
+  match roundtrip fd env with
+  | Error e -> Error e
+  | Ok fields -> (
+      match Option.bind (field "image" fields) Json.get_string with
+      | None ->
+          Error { P.code = "protocol"; message = "link reply carries no image" }
+      | Some hex -> (
+          match P.hex_decode hex with
+          | Error m ->
+              Error { P.code = "protocol"; message = "bad image hex: " ^ m }
+          | Ok bytes -> Ok (bytes, fields)))
+
+let ping fd ?deadline_ms ?(delay_ms = 0) () =
+  roundtrip fd (P.request ?deadline_ms (P.Ping { delay_ms }))
+
+let stats fd = roundtrip fd (P.request P.Stats)
+
+let shutdown fd = roundtrip fd (P.request P.Shutdown)

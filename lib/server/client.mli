@@ -1,0 +1,35 @@
+(** The client side of the omlinkd wire protocol. *)
+
+val connect : ?socket:string -> unit -> (Unix.file_descr, string) result
+(** Connect to the daemon's socket (default {!Daemon.default_socket}). *)
+
+val close : Unix.file_descr -> unit
+
+val with_connection :
+  ?socket:string -> (Unix.file_descr -> 'a) -> ('a, string) result
+
+val roundtrip :
+  Unix.file_descr -> Protocol.envelope ->
+  ((string * Obs.Json.t) list, Protocol.err) result
+(** Send one request and read its reply; [Ok] carries the reply's fields
+    (minus the [ok] marker). *)
+
+val field : string -> (string * Obs.Json.t) list -> Obs.Json.t option
+
+val link :
+  Unix.file_descr -> ?deadline_ms:int -> ?trace:bool -> ?entry:string ->
+  level:string -> string list ->
+  (string * (string * Obs.Json.t) list, Protocol.err) result
+(** Link through the daemon; [Ok (bytes, fields)] carries the serialized
+    image (decode with {!Store.Codec.image_of_string}) plus the reply
+    fields. *)
+
+val ping :
+  Unix.file_descr -> ?deadline_ms:int -> ?delay_ms:int -> unit ->
+  ((string * Obs.Json.t) list, Protocol.err) result
+
+val stats :
+  Unix.file_descr -> ((string * Obs.Json.t) list, Protocol.err) result
+
+val shutdown :
+  Unix.file_descr -> ((string * Obs.Json.t) list, Protocol.err) result

@@ -1,0 +1,367 @@
+(* omlinkd: the persistent link service.
+
+   One process owns an {!Engine.t} (and through it the artifact store)
+   and serves length-framed JSON requests over a Unix-domain socket.
+   Because the store outlives individual requests, the second link of a
+   program is warm: unchanged modules hit the lift cache and an
+   unchanged program hits the image cache outright.
+
+   Concurrency model: connections are served one at a time (the linker
+   itself parallelizes internally via [Reports.Pool]); each request with
+   a deadline runs in a worker domain so the accept loop can time it out
+   and answer with a structured error instead of hanging the client. *)
+
+module P = Protocol
+module Json = Obs.Json
+
+let default_socket () =
+  match Sys.getenv_opt "OMLT_SOCKET" with
+  | Some s when s <> "" -> s
+  | _ -> "omlinkd.sock"
+
+(* --- request handlers --- *)
+
+let counters_json c =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Store.counters_to_alist c))
+
+let stats_json engine ~requests =
+  let store = Engine.store engine in
+  P.ok_response
+    [ ("uptime_s", Json.Float (Engine.uptime_s engine));
+      ("requests", Json.Int requests);
+      ( "store",
+        Json.Obj
+          ([ ( "dir",
+               match Store.dir store with
+               | None -> Json.Null
+               | Some d -> Json.String d );
+             ("mem_entries", Json.Int (Store.mem_entries store));
+             ("mem_bytes", Json.Int (Store.mem_bytes store)) ]
+          @ List.map
+              (fun k -> (Store.kind_name k, counters_json (Store.counters store k)))
+              Store.all_kinds
+          @ [ ("total", counters_json (Store.counters_total store)) ]) ) ]
+
+let compile_reply engine files =
+  let compiled =
+    Reports.Pool.map
+      (fun f ->
+        match Engine.input_of_file f with
+        | Error m -> Error (f, m)
+        | Ok input -> (
+            match Engine.compile_unit engine input with
+            | Ok (u, cached) -> Ok (f, u, cached)
+            | Error m -> Error (f, m)))
+      files
+  in
+  match
+    List.find_map (function Error e -> Some e | Ok _ -> None) compiled
+  with
+  | Some (f, m) -> P.error_response ~code:"compile" (Printf.sprintf "%s: %s" f m)
+  | None ->
+      P.ok_response
+        [ ( "units",
+            Json.List
+              (List.filter_map
+                 (function
+                   | Error _ -> None
+                   | Ok (f, (u : Objfile.Cunit.t), cached) ->
+                       let bytes = Store.Codec.cunit_to_string u in
+                       Some
+                         (Json.Obj
+                            [ ("file", Json.String f);
+                              ("name", Json.String u.Objfile.Cunit.name);
+                              ("digest", Json.String (Store.digest_string bytes));
+                              ( "insns",
+                                Json.Int (Objfile.Cunit.insn_count u) );
+                              ("cached", Json.Bool cached);
+                              ("object", Json.String (P.hex_encode bytes)) ]))
+                 compiled) ) ]
+
+let link_reply engine ~files ~level ~entry =
+  match Engine.link_files engine ?entry ~level files with
+  | Error m -> P.error_response ~code:"link" m
+  | Ok (image, stats, info) ->
+      P.ok_response
+        ([ ("level", Json.String info.Engine.li_level);
+           ("image_digest", Json.String info.Engine.li_image_digest);
+           ("insns", Json.Int info.Engine.li_insns);
+           ("elapsed_s", Json.Float info.Engine.li_elapsed_s);
+           ("image_hit", Json.Bool info.Engine.li_image_hit);
+           ("store", Engine.info_counters_json info);
+           ( "image",
+             Json.String (P.hex_encode (Store.Codec.image_to_string image)) ) ]
+        @
+        match stats with
+        | None -> []
+        | Some s ->
+            [ ( "stats",
+                Json.Obj
+                  (List.map
+                     (fun (k, v) -> (k, Json.Int v))
+                     (Om.Stats.to_alist s)) ) ])
+
+let suite_reply ~bench ~jobs =
+  let benches =
+    match bench with
+    | None -> Ok Workloads.Programs.all
+    | Some n -> (
+        match Workloads.Programs.find n with
+        | Some b -> Ok [ b ]
+        | None ->
+            Error
+              (Printf.sprintf "unknown benchmark %s (know: %s)" n
+                 (String.concat ", " Workloads.Programs.names)))
+  in
+  match benches with
+  | Error m -> P.error_response ~code:"suite" m
+  | Ok benches ->
+      let rows = Reports.Runner.matrix ?jobs benches in
+      let report = Reports.Runner.report ?jobs rows in
+      (* stamp each bench row with its cold-vs-warm link-service timing *)
+      let report =
+        { report with
+          Obs.Report.results =
+            List.map
+              (fun (row : Obs.Report.bench) ->
+                match
+                  Option.bind
+                    (Workloads.Programs.find row.Obs.Report.bench)
+                    (fun b -> Result.to_option (Engine.relink_timings b))
+                with
+                | Some r -> { row with Obs.Report.relink = Some r }
+                | None -> row)
+              report.Obs.Report.results }
+      in
+      let failures =
+        List.filter_map
+          (fun ((b : Workloads.Programs.benchmark), build, r) ->
+            match r with
+            | Ok _ -> None
+            | Error m ->
+                Some
+                  (Json.String
+                     (Printf.sprintf "%s/%s: %s" b.Workloads.Programs.name
+                        (Workloads.Suite.build_name build) m)))
+          rows
+      in
+      P.ok_response
+        [ ("report", Obs.Report.to_json report);
+          ("failures", Json.List failures) ]
+
+let spans_json spans =
+  Json.List
+    (List.map
+       (fun (s : Obs.Trace.span) ->
+         Json.Obj
+           [ ("name", Json.String s.Obs.Trace.name);
+             ("depth", Json.Int s.Obs.Trace.depth);
+             ("dur_us", Json.Float s.Obs.Trace.dur_us) ])
+       spans)
+
+let handle engine ~requests (e : P.envelope) =
+  let respond () =
+    match e.P.req with
+    | P.Ping { delay_ms } ->
+        if delay_ms > 0 then Unix.sleepf (float_of_int delay_ms /. 1000.);
+        P.ok_response [ ("pong", Json.Bool true) ]
+    | P.Compile { files } -> compile_reply engine files
+    | P.Link { files; level; entry } -> link_reply engine ~files ~level ~entry
+    | P.Stats -> stats_json engine ~requests
+    | P.Suite { bench; jobs } -> suite_reply ~bench ~jobs
+    | P.Shutdown -> P.ok_response [ ("stopping", Json.Bool true) ]
+  in
+  if not e.P.trace then respond ()
+  else
+    let c, reply = Obs.Trace.with_collector respond in
+    match reply with
+    | Json.Obj fields ->
+        Json.Obj (fields @ [ ("trace", spans_json (Obs.Trace.spans c)) ])
+    | j -> j
+
+(* --- deadlines ---
+
+   A request with a deadline runs in its own domain, which signals
+   completion by writing one byte to a pipe; the accept loop selects on
+   the pipe with the deadline as timeout. On expiry the client gets a
+   structured [timeout] error immediately and the worker domain is
+   abandoned — it finishes (or dies) on its own and is joined lazily the
+   next time the loop is idle, so an abandoned link can't accumulate
+   into a zombie pile. *)
+
+type outcome = Reply of Json.t | Crashed of string | Timed_out
+
+type abandoned = {
+  a_domain : unit Domain.t;
+  a_done : outcome option Atomic.t;
+  a_read : Unix.file_descr;
+}
+
+let reap abandoned =
+  List.filter
+    (fun a ->
+      if Atomic.get a.a_done = None then true
+      else begin
+        Domain.join a.a_domain;
+        (try Unix.close a.a_read with Unix.Unix_error _ -> ());
+        false
+      end)
+    abandoned
+
+let run_with_deadline ~deadline_ms f =
+  match deadline_ms with
+  | None -> (
+      (try Reply (f ()) with exn -> Crashed (Printexc.to_string exn)), None)
+  | Some ms ->
+      let result = Atomic.make None in
+      let r, w = Unix.pipe ~cloexec:true () in
+      let dom =
+        Domain.spawn (fun () ->
+            let out =
+              try Reply (f ()) with exn -> Crashed (Printexc.to_string exn)
+            in
+            Atomic.set result (Some out);
+            try
+              ignore (Unix.write_substring w "x" 0 1);
+              Unix.close w
+            with Unix.Unix_error _ -> ())
+      in
+      let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+      let rec wait () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then []
+        else
+          match Unix.select [ r ] [] [] remaining with
+          | readable, _, _ -> readable
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      if wait () = [] then (Timed_out, Some { a_domain = dom; a_done = result; a_read = r })
+      else begin
+        Domain.join dom;
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        match Atomic.get result with
+        | Some out -> (out, None)
+        | None -> (Crashed "worker vanished without a result", None)
+      end
+
+(* --- the socket and the serve loop --- *)
+
+let bind_socket path =
+  let ( let* ) = Result.bind in
+  let* () =
+    if not (Sys.file_exists path) then Ok ()
+    else begin
+      (* stale-socket detection: a connect that is refused means no
+         daemon is behind the file, so it is safe to take over *)
+      let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX path);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then
+        Error (Printf.sprintf "%s: an omlinkd is already listening" path)
+      else begin
+        (try Sys.remove path with Sys_error _ -> ());
+        Ok ()
+      end
+    end
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 8
+  with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+
+type conn_verdict = Conn_closed | Stop_server
+
+let serve_conn engine ~default_deadline_ms ~abandoned fd =
+  let send_safe j = try P.send fd j; true with Unix.Unix_error _ -> false in
+  let rec loop () =
+    abandoned := reap !abandoned;
+    match P.recv fd with
+    | P.Eof -> Conn_closed
+    | P.Bad m ->
+        (* framing is gone; answer if we can and drop the connection *)
+        ignore (send_safe (P.error_response ~code:"protocol" m));
+        Conn_closed
+    | P.Frame j -> (
+        let requests = Engine.count_request engine in
+        match P.request_of_json j with
+        | Error m ->
+            if send_safe (P.error_response ~code:"protocol" m) then loop ()
+            else Conn_closed
+        | Ok env ->
+            let deadline_ms =
+              match env.P.deadline_ms with
+              | Some _ as d -> d
+              | None -> default_deadline_ms
+            in
+            let outcome, orphan =
+              run_with_deadline ~deadline_ms (fun () ->
+                  handle engine ~requests env)
+            in
+            (match orphan with
+            | Some a -> abandoned := a :: !abandoned
+            | None -> ());
+            let reply =
+              match outcome with
+              | Reply r -> r
+              | Crashed m -> P.error_response ~code:"internal" m
+              | Timed_out ->
+                  P.error_response ~code:"timeout"
+                    (Printf.sprintf "deadline of %d ms exceeded"
+                       (Option.value deadline_ms ~default:0))
+            in
+            let sent = send_safe reply in
+            if env.P.req = P.Shutdown && outcome <> Timed_out then Stop_server
+            else if sent then loop ()
+            else Conn_closed)
+  in
+  loop ()
+
+let serve ?engine ?socket ?default_deadline_ms ?(log = ignore) () =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ()
+  in
+  let path = match socket with Some s -> s | None -> default_socket () in
+  match bind_socket path with
+  | Error m -> Error m
+  | Ok listen_fd ->
+      log (Printf.sprintf "omlinkd: listening on %s" path);
+      (match Store.dir (Engine.store engine) with
+      | Some d -> log (Printf.sprintf "omlinkd: artifact store at %s" d)
+      | None -> log "omlinkd: in-memory artifact store");
+      let abandoned = ref [] in
+      let rec accept_loop () =
+        match Unix.accept ~cloexec:true listen_fd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | conn, _ ->
+            let verdict =
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close conn with Unix.Unix_error _ -> ())
+                (fun () ->
+                  serve_conn engine ~default_deadline_ms ~abandoned conn)
+            in
+            (match verdict with
+            | Conn_closed -> accept_loop ()
+            | Stop_server -> log "omlinkd: shutdown requested")
+      in
+      let finally () =
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (try Sys.remove path with Sys_error _ -> ());
+        (* give straggler workers a moment, then join the finished ones *)
+        abandoned := reap !abandoned
+      in
+      Fun.protect ~finally (fun () ->
+          match accept_loop () with
+          | () -> Ok ()
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "omlinkd: %s: %s" fn (Unix.error_message e)))

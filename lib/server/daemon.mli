@@ -1,0 +1,29 @@
+(** omlinkd: the persistent link service.
+
+    Serves {!Protocol} requests over a Unix-domain socket from a single
+    long-lived {!Engine.t}, so artifact caches persist across requests
+    and a relink after a one-module edit only redoes that module's work.
+
+    Requests carrying a deadline run in a worker domain; on expiry the
+    client receives a structured [timeout] error and the worker is
+    joined lazily once it finishes. *)
+
+val default_socket : unit -> string
+(** [$OMLT_SOCKET], defaulting to ["omlinkd.sock"]. *)
+
+val serve :
+  ?engine:Engine.t ->
+  ?socket:string ->
+  ?default_deadline_ms:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  (unit, string) result
+(** Bind the socket and serve until a [shutdown] request. A leftover
+    socket file with no listener behind it (a crashed daemon) is
+    removed and taken over; a live listener is an error. Returns after
+    shutdown with the socket file removed. [log] receives one-line
+    progress messages (default: none). *)
+
+val handle : Engine.t -> requests:int -> Protocol.envelope -> Obs.Json.t
+(** One request, in-process — the dispatch the daemon runs behind the
+    socket, exposed for tests. [requests] is echoed by [stats]. *)

@@ -1,0 +1,70 @@
+(** The incremental link engine.
+
+    A long-lived value owning a {!Store.t} and the standard library
+    archive; every compile/lift/link artifact it produces is cached by
+    content digest, so repeated links only redo the work whose inputs
+    changed. The daemon wraps one engine; tests and the bench harness
+    drive it in-process. *)
+
+type t
+
+val create : ?store:Store.t -> unit -> t
+(** A fresh engine. [store] defaults to [Store.create ()] (which honours
+    [$OMLT_STORE]); pass [Store.in_memory ()] for a hermetic engine. *)
+
+val store : t -> Store.t
+val uptime_s : t -> float
+
+val count_request : t -> int
+(** Bump and return the served-request counter (the daemon calls this
+    once per request; [stats] reports it). *)
+
+type input =
+  | Source of { name : string; text : string }
+      (** minic source; compiled (and the result cached) by the engine *)
+  | Object of { name : string; bytes : string }
+      (** an already-serialized object module *)
+
+val input_of_file : string -> (input, string) result
+(** Classify by extension: [.mc] is source, anything else must hold a
+    serialized object module. *)
+
+type level = Std | Om of Om.level
+
+val level_of_string : string -> (level, string) result
+val level_name : level -> string
+
+type link_info = {
+  li_level : string;
+  li_image_digest : string;
+  li_insns : int;
+  li_elapsed_s : float;
+  li_image_hit : bool;  (** the whole link was served from the image cache *)
+  li_cunit : Store.counters;
+  li_lifted : Store.counters;
+  li_image : Store.counters;
+      (** the three counter fields are per-request deltas, not totals *)
+}
+
+val info_counters_json : link_info -> Obs.Json.t
+
+val link :
+  t -> ?entry:string -> level:string -> input list ->
+  (Linker.Image.t * Om.Stats.t option * link_info, string) result
+(** Link the inputs at [level] (["std"], ["noopt"], ["simple"], ["full"]
+    or ["sched"]) against the standard library. [Om.Stats.t] is [None]
+    for std links and for image-cache hits. *)
+
+val link_files :
+  t -> ?entry:string -> level:string -> string list ->
+  (Linker.Image.t * Om.Stats.t option * link_info, string) result
+
+val compile_unit : t -> input -> (Objfile.Cunit.t * bool, string) result
+(** Compile (or fetch) one input; the boolean reports a cache hit. *)
+
+val relink_timings :
+  ?level:string -> Workloads.Programs.benchmark ->
+  (Obs.Report.relink, string) result
+(** Measure a benchmark's cold link (fresh in-memory store) against the
+    warm relink after a one-module edit — the schema-v3 [relink] report
+    field. *)

@@ -299,7 +299,8 @@ let sample_report () =
               attribution = None;
               fault = Some "heap exhausted";
               host = None } ];
-        std_host = Some { Obs.Report.wall_s = 0.5; mips = 10.0 } } ]
+        std_host = Some { Obs.Report.wall_s = 0.5; mips = 10.0 };
+        relink = Some { Obs.Report.cold_s = 0.2; warm_s = 0.05 } } ]
 
 let test_report_roundtrip () =
   let r = sample_report () in
@@ -362,6 +363,37 @@ let test_report_accepts_v1 () =
       Alcotest.(check bool) "run host is None" true
         ((List.hd b.Obs.Report.runs).Obs.Report.host = None)
 
+let test_report_accepts_v2 () =
+  (* a v2 document predates the link-service timings: it must still
+     parse, with [relink] surfaced as [None] *)
+  match
+    Obs.Report.of_json
+      (Obs.Json.Obj
+         [ ("schema_version", Obs.Json.Int 2);
+           ("tool", Obs.Json.String "t");
+           ( "results",
+             Obs.Json.List
+               [ Obs.Json.Obj
+                   [ ("bench", Obs.Json.String "b");
+                     ("build", Obs.Json.String "compile-each");
+                     ("std_cycles", Obs.Json.Int 10);
+                     ("std_insns", Obs.Json.Int 5);
+                     ("std_attribution", Obs.Json.Null);
+                     ("std_fault", Obs.Json.Null);
+                     ("outputs_agree", Obs.Json.Bool true);
+                     ( "std_host",
+                       Obs.Json.Obj
+                         [ ("wall_s", Obs.Json.Float 0.5);
+                           ("mips", Obs.Json.Float 10.0) ] );
+                     ("runs", Obs.Json.List []) ] ] ) ])
+  with
+  | Error m -> Alcotest.failf "v2 document rejected: %s" m
+  | Ok r ->
+      let b = List.hd r.Obs.Report.results in
+      Alcotest.(check bool) "relink is None" true (b.Obs.Report.relink = None);
+      Alcotest.(check bool) "std_host survives" true
+        (b.Obs.Report.std_host <> None)
+
 let test_suite_json_roundtrip () =
   (* the exact path behind [omlink suite --json]: measure, convert, print,
      re-read through the schema reader *)
@@ -412,5 +444,7 @@ let suite =
         test_report_rejects_future_schema;
       Alcotest.test_case "report accepts v1 documents" `Quick
         test_report_accepts_v1;
+      Alcotest.test_case "report accepts v2 documents" `Quick
+        test_report_accepts_v2;
       Alcotest.test_case "suite --json round-trip" `Quick
         test_suite_json_roundtrip ] )

@@ -1,0 +1,360 @@
+(* The link service: wire-protocol round-trips, the incremental engine's
+   cache behaviour, and an end-to-end daemon smoke test. *)
+
+module P = Server.Protocol
+module Json = Obs.Json
+
+(* --- wire protocol --- *)
+
+let roundtrip env =
+  let j = P.request_to_json env in
+  match Json.parse (Json.to_string ~minify:true j) with
+  | Error m -> Alcotest.failf "reparse failed: %s" m
+  | Ok j' -> (
+      match P.request_of_json j' with
+      | Error m -> Alcotest.failf "decode failed: %s" m
+      | Ok env' -> env')
+
+let test_request_roundtrips () =
+  let cases =
+    [ P.request (P.Ping { delay_ms = 0 });
+      P.request ~deadline_ms:250 (P.Ping { delay_ms = 40 });
+      P.request (P.Compile { files = [ "a.mc"; "b.o" ] });
+      P.request ~trace:true
+        (P.Link { files = [ "x.mc" ]; level = "sched"; entry = Some "main" });
+      P.request (P.Link { files = []; level = "full"; entry = None });
+      P.request P.Stats;
+      P.request (P.Suite { bench = Some "li"; jobs = Some 2 });
+      P.request (P.Suite { bench = None; jobs = None });
+      P.request P.Shutdown ]
+  in
+  List.iter
+    (fun env ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s round-trips" (P.kind_of_request env.P.req))
+        true
+        (roundtrip env = env))
+    cases
+
+let test_request_rejects_garbage () =
+  let bad j =
+    match P.request_of_json j with
+    | Ok _ -> Alcotest.fail "accepted a malformed request"
+    | Error _ -> ()
+  in
+  bad (Json.Obj []);
+  bad (Json.Obj [ ("kind", Json.String "frobnicate") ]);
+  bad (Json.Obj [ ("kind", Json.String "link") ]);
+  bad
+    (Json.Obj
+       [ ("kind", Json.String "link"); ("files", Json.String "not-a-list") ])
+
+let test_hex_roundtrip () =
+  let all_bytes = String.init 256 Char.chr in
+  (match P.hex_decode (P.hex_encode all_bytes) with
+  | Ok s -> Alcotest.(check string) "all byte values survive" all_bytes s
+  | Error m -> Alcotest.failf "decode failed: %s" m);
+  (match P.hex_decode "0g" with
+  | Ok _ -> Alcotest.fail "bad digit accepted"
+  | Error _ -> ());
+  match P.hex_decode "abc" with
+  | Ok _ -> Alcotest.fail "odd length accepted"
+  | Error _ -> ()
+
+let test_framing_over_socketpair () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let doc =
+    Json.Obj [ ("kind", Json.String "ping"); ("payload", Json.String "αβγ") ]
+  in
+  P.send a doc;
+  (match P.recv b with
+  | P.Frame j ->
+      Alcotest.(check string) "frame round-trips"
+        (Json.to_string ~minify:true doc)
+        (Json.to_string ~minify:true j)
+  | _ -> Alcotest.fail "expected a frame");
+  (* a torn frame: a length header promising bytes that never come *)
+  ignore (Unix.write_substring a "\x00\x00\x00\x0a" 0 4);
+  Unix.close a;
+  match P.recv b with
+  | P.Bad _ -> ()
+  | P.Frame _ -> Alcotest.fail "torn frame decoded"
+  | P.Eof -> Alcotest.fail "torn frame reported as clean EOF"
+
+let test_eof_at_boundary () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close a;
+  Fun.protect ~finally:(fun () -> try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match P.recv b with
+  | P.Eof -> ()
+  | _ -> Alcotest.fail "expected clean EOF"
+
+let test_oversized_frame_rejected () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* a header claiming ~2 GB: must be rejected without reading it *)
+  ignore (Unix.write_substring a "\x7f\xff\xff\xff" 0 4);
+  match P.recv b with
+  | P.Bad m ->
+      Alcotest.(check bool) "error names the length" true
+        (Astring.String.is_infix ~affix:"length" m)
+  | _ -> Alcotest.fail "oversized frame accepted"
+
+(* --- the incremental engine --- *)
+
+let tmp_sources () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "omlt_server_%d_%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let util_src = "func helper(x) { return x * 3 + 1; }\n"
+
+let main_src =
+  "extern func helper(x);\nfunc main() { io_putint_nl(helper(13)); return 0; }\n"
+
+let engine_inputs () =
+  [ Server.Engine.Source { name = "util.mc"; text = util_src };
+    Server.Engine.Source { name = "main.mc"; text = main_src } ]
+
+let link_ok engine ?(level = "full") inputs =
+  match Server.Engine.link engine ~level inputs with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "engine link failed: %s" m
+
+let test_engine_incremental_relink () =
+  let engine = Server.Engine.create ~store:(Store.in_memory ()) () in
+  (* cold link: everything misses, everything is lifted *)
+  let _, _, cold = link_ok engine (engine_inputs ()) in
+  Alcotest.(check bool) "cold link is not an image hit" false
+    cold.Server.Engine.li_image_hit;
+  let cold_lifts = cold.Server.Engine.li_lifted.Store.disk_misses in
+  Alcotest.(check bool) "cold link lifts user modules and libstd" true
+    (cold_lifts > 2);
+  (* identical relink: served whole from the image cache, no lifting *)
+  let image1, _, warm = link_ok engine (engine_inputs ()) in
+  Alcotest.(check bool) "unchanged relink is an image hit" true
+    warm.Server.Engine.li_image_hit;
+  Alcotest.(check int) "unchanged relink lifts nothing" 0
+    (warm.Server.Engine.li_lifted.Store.disk_misses
+    + warm.Server.Engine.li_lifted.Store.mem_hits);
+  (* one-module edit: exactly one new lift, every other module (incl.
+     every libstd member) is served from the store — the acceptance
+     criterion of the incremental path *)
+  let edited =
+    [ Server.Engine.Source
+        { name = "util.mc"; text = "func helper(x) { return x * 5 + 1; }\n" };
+      Server.Engine.Source { name = "main.mc"; text = main_src } ]
+  in
+  let image2, _, inc = link_ok engine edited in
+  Alcotest.(check bool) "edited relink is not an image hit" false
+    inc.Server.Engine.li_image_hit;
+  Alcotest.(check int) "exactly one module re-lifted" 1
+    inc.Server.Engine.li_lifted.Store.disk_misses;
+  Alcotest.(check int) "every unchanged lift is a cache hit" (cold_lifts - 1)
+    inc.Server.Engine.li_lifted.Store.mem_hits;
+  Alcotest.(check int) "exactly one module re-compiled" 1
+    inc.Server.Engine.li_cunit.Store.disk_misses;
+  (* the edit must actually change behaviour *)
+  let out image =
+    (Testutil.run_image image).Machine.Cpu.output
+  in
+  Alcotest.(check string) "original program output" "40\n" (out image1);
+  Alcotest.(check string) "edited program output" "66\n" (out image2)
+
+let test_engine_matches_direct_link () =
+  (* the engine's cached pipeline must produce bit-identical images to
+     the one-shot [Om.link] path, at every level *)
+  let units =
+    [ Testutil.compile ~name:"util.mc" util_src;
+      Testutil.compile ~name:"main.mc" main_src ]
+  in
+  List.iter
+    (fun (level_name, om_level) ->
+      let engine = Server.Engine.create ~store:(Store.in_memory ()) () in
+      let image, _, _ = link_ok engine ~level:level_name (engine_inputs ()) in
+      let direct =
+        match Om.link ~level:om_level units ~archives:[ Runtime.libstd () ] with
+        | Ok { Om.image; _ } -> image
+        | Error m -> Alcotest.failf "direct link failed: %s" m
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "engine image = direct image at %s" level_name)
+        (Store.Codec.image_to_string direct)
+        (Store.Codec.image_to_string image))
+    [ ("noopt", Om.No_opt); ("simple", Om.Simple); ("full", Om.Full);
+      ("sched", Om.Full_sched) ]
+
+let test_relink_timings () =
+  let b =
+    match Workloads.Programs.find "li" with
+    | Some b -> b
+    | None -> Alcotest.fail "li benchmark missing"
+  in
+  match Server.Engine.relink_timings b with
+  | Error m -> Alcotest.failf "relink timing failed: %s" m
+  | Ok r ->
+      Alcotest.(check bool) "cold time positive" true (r.Obs.Report.cold_s > 0.);
+      Alcotest.(check bool) "warm time positive" true (r.Obs.Report.warm_s > 0.)
+
+(* --- end-to-end daemon smoke test --- *)
+
+let test_daemon_smoke () =
+  let dir = tmp_sources () in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ())
+  @@ fun () ->
+  let util_path = Filename.concat dir "util.mc" in
+  let main_path = Filename.concat dir "main.mc" in
+  write_file util_path util_src;
+  write_file main_path main_src;
+  let socket = Filename.concat dir "d.sock" in
+  let engine = Server.Engine.create ~store:(Store.in_memory ()) () in
+  let server =
+    Domain.spawn (fun () ->
+        Server.Daemon.serve ~engine ~socket ())
+  in
+  (* the daemon binds asynchronously: retry the connect briefly *)
+  let rec connect tries =
+    match Server.Client.connect ~socket () with
+    | Ok fd -> fd
+    | Error m ->
+        if tries = 0 then Alcotest.failf "could not connect: %s" m
+        else begin
+          Unix.sleepf 0.05;
+          connect (tries - 1)
+        end
+  in
+  let fd = connect 100 in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  (* ping *)
+  (match Server.Client.ping fd () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ping failed: %s" e.P.message);
+  (* link through the daemon; the bytes must equal an in-process link *)
+  let daemon_bytes, fields =
+    match Server.Client.link fd ~level:"full" [ util_path; main_path ] with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "daemon link failed: %s" e.P.message
+  in
+  let direct =
+    (* the daemon names file inputs <base>.o — match it so any naming
+       sensitivity shows up as a bytes mismatch, not a flake *)
+    match
+      Om.link ~level:Om.Full
+        [ Testutil.compile ~name:"util.o" util_src;
+          Testutil.compile ~name:"main.o" main_src ]
+        ~archives:[ Runtime.libstd () ]
+    with
+    | Ok { Om.image; _ } -> Store.Codec.image_to_string image
+    | Error m -> Alcotest.failf "direct link failed: %s" m
+  in
+  Alcotest.(check string) "daemon image bytes = in-process image bytes" direct
+    daemon_bytes;
+  Alcotest.(check bool) "reply carries store counters" true
+    (Server.Client.field "store" fields <> None);
+  (* a slow ping against a short deadline: structured timeout, and the
+     connection keeps working afterwards *)
+  (match Server.Client.ping fd ~deadline_ms:50 ~delay_ms:2000 () with
+  | Ok _ -> Alcotest.fail "deadline did not fire"
+  | Error e -> Alcotest.(check string) "timeout error code" "timeout" e.P.code);
+  (match Server.Client.ping fd () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ping after timeout failed: %s" e.P.message);
+  (* warm relink through the daemon: image hit, zero lifts *)
+  (match Server.Client.link fd ~level:"full" [ util_path; main_path ] with
+  | Error e -> Alcotest.failf "warm daemon link failed: %s" e.P.message
+  | Ok (warm_bytes, warm_fields) ->
+      Alcotest.(check string) "warm bytes identical" direct warm_bytes;
+      Alcotest.(check bool) "warm link is an image hit" true
+        (match
+           Option.bind (Server.Client.field "image_hit" warm_fields)
+             Json.get_bool
+         with
+        | Some b -> b
+        | None -> false));
+  (* shutdown: daemon replies, exits cleanly, removes its socket *)
+  (match Server.Client.shutdown fd with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "shutdown failed: %s" e.P.message);
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "daemon exited with: %s" m);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let test_daemon_refuses_second_instance () =
+  let dir = tmp_sources () in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let socket = Filename.concat dir "d.sock" in
+  let engine = Server.Engine.create ~store:(Store.in_memory ()) () in
+  let server = Domain.spawn (fun () -> Server.Daemon.serve ~engine ~socket ()) in
+  let rec wait_bound tries =
+    if Sys.file_exists socket then ()
+    else if tries = 0 then Alcotest.fail "daemon never bound"
+    else begin
+      Unix.sleepf 0.05;
+      wait_bound (tries - 1)
+    end
+  in
+  wait_bound 100;
+  (match Server.Daemon.serve ~engine ~socket () with
+  | Ok () -> Alcotest.fail "second daemon on the same socket succeeded"
+  | Error m ->
+      Alcotest.(check bool) "error names the socket" true
+        (Astring.String.is_infix ~affix:"listening" m));
+  (match Server.Client.with_connection ~socket (fun fd -> Server.Client.shutdown fd) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "shutdown connect failed: %s" m);
+  match Domain.join server with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "daemon exited with: %s" m
+
+let suite =
+  ( "server",
+    [ Alcotest.test_case "requests round-trip the wire format" `Quick
+        test_request_roundtrips;
+      Alcotest.test_case "malformed requests rejected" `Quick
+        test_request_rejects_garbage;
+      Alcotest.test_case "hex codec round-trips" `Quick test_hex_roundtrip;
+      Alcotest.test_case "framing over a socketpair" `Quick
+        test_framing_over_socketpair;
+      Alcotest.test_case "clean EOF at message boundary" `Quick
+        test_eof_at_boundary;
+      Alcotest.test_case "oversized frames rejected" `Quick
+        test_oversized_frame_rejected;
+      Alcotest.test_case "incremental relink lifts only the edit" `Quick
+        test_engine_incremental_relink;
+      Alcotest.test_case "engine images match direct links" `Quick
+        test_engine_matches_direct_link;
+      Alcotest.test_case "relink timings measurable" `Quick test_relink_timings;
+      Alcotest.test_case "daemon end-to-end smoke" `Quick test_daemon_smoke;
+      Alcotest.test_case "daemon refuses a second instance" `Quick
+        test_daemon_refuses_second_instance ] )
