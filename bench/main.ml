@@ -7,6 +7,7 @@
      bench/main.exe fig3       one figure: fig3 fig4 fig5 fig6 fig7 gat
      bench/main.exe summary    headline numbers vs. the paper
      bench/main.exe micro      run the Bechamel micro-benchmarks only
+     bench/main.exe fuzz       differential-fuzzer throughput (cases/sec)
      bench/main.exe relink     cold vs warm link-service relink times
      bench/main.exe quick      figures from a 5-benchmark subset
      bench/main.exe check-report   validate BENCH_report.json parses
@@ -69,18 +70,28 @@ let rows quick =
 let matrix quick : Reports.Figures.matrix = Reports.Runner.results (rows quick)
 
 let timings quick =
-  List.map
+  List.filter_map
     (fun (b : Workloads.Programs.benchmark) ->
       Printf.eprintf "[bench] timing %-10s\r%!" b.name;
-      (b.name, Reports.Measure.time_builds b))
+      match Reports.Measure.time_builds b with
+      | Ok t -> Some (b.name, t)
+      | Error m ->
+          Printf.eprintf "[bench] timing %s failed: %s\n%!" b.name m;
+          None)
     (selected_benchmarks quick)
+
+(* bench wants the world or a failure message, not a result to thread *)
+let world_of_exn build b =
+  match Workloads.Suite.compile_cached build b with
+  | Ok w -> w
+  | Error m -> failwith m
 
 (* --- Bechamel micro-benchmarks: one per table/figure --- *)
 
 let micro () =
   let open Bechamel in
   let li = Option.get (Workloads.Programs.find "li") in
-  let world = Workloads.Suite.compile_cached Workloads.Suite.Compile_each li in
+  let world = world_of_exn Workloads.Suite.Compile_each li in
   let om level () =
     match Om.optimize_resolved level world with
     | Ok _ -> ()
@@ -124,9 +135,7 @@ let micro () =
       (* the GAT table comes from the same full pass over a merged build *)
       Test.make ~name:"gat/om-full-compile-all"
         (Staged.stage
-           (let w =
-              Workloads.Suite.compile_cached Workloads.Suite.Compile_all li
-            in
+           (let w = world_of_exn Workloads.Suite.Compile_all li in
             fun () ->
               match Om.optimize_resolved Om.Full w with
               | Ok _ -> ()
@@ -172,6 +181,33 @@ let micro () =
   if t_fast > 0. then
     Printf.printf "  fast-path speedup:   %8.2fx\n" (t_ref /. t_fast)
 
+(* --- fuzz throughput: how fast the differential fuzzer burns cases --- *)
+
+let fuzz_throughput () =
+  let seed = 7 and count = 40 in
+  let t0 = Unix.gettimeofday () in
+  let nodes = ref 0 in
+  for index = 0 to count - 1 do
+    let p = Fuzz.Gen.program (Fuzz.case_seed ~seed ~index) in
+    nodes := !nodes + Fuzz.Prog.size p;
+    ignore (Fuzz.Prog.render p)
+  done;
+  let t_gen = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let r = Fuzz.campaign ?jobs:!jobs ~out_dir:None ~seed ~count () in
+  let t_all = Unix.gettimeofday () -. t0 in
+  Printf.printf "Fuzz throughput (%d cases, seed %d, avg %d AST nodes):\n"
+    count seed (!nodes / count);
+  Printf.printf "  generate + render    %8.1f cases/s\n"
+    (float_of_int count /. t_gen);
+  Printf.printf "  all three oracles    %8.1f cases/s\n"
+    (float_of_int count /. t_all);
+  if r.Fuzz.failed <> [] then begin
+    Printf.eprintf "[bench] fuzz found %d failure(s)!\n%!"
+      (List.length r.Fuzz.failed);
+    exit 1
+  end
+
 (* --- ablation: price each OM-full feature by turning it off --- *)
 
 let ablation () =
@@ -197,9 +233,7 @@ let ablation () =
       match Workloads.Programs.find name with
       | None -> ()
       | Some b ->
-          let world =
-            Workloads.Suite.compile_cached Workloads.Suite.Compile_each b
-          in
+          let world = world_of_exn Workloads.Suite.Compile_each b in
           let std = Result.get_ok (Linker.Link.link_resolved world) in
           let base =
             match Machine.Cpu.run std with
@@ -357,6 +391,7 @@ let () =
   let cmd = match parse_args () with [] -> "all" | c :: _ -> c in
   match cmd with
   | "micro" -> micro ()
+  | "fuzz" -> fuzz_throughput ()
   | "ablation" -> ablation ()
   | "relink" -> print_relink true
   | "check-report" -> check_report ()
@@ -374,6 +409,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, \
-         ablation, relink, check-report, all)\n"
+         fuzz, ablation, relink, check-report, all)\n"
         other;
       exit 2

@@ -532,6 +532,87 @@ let suite_cmd =
     (reporting
        Term.(const run $ bench $ json_flag $ attr_flag $ out $ jobs))
 
+(* --- fuzz: randomized differential testing of the pipeline --- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Campaign seed. The same seed replays the same cases, \
+                   whatever the job count.")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"N" ~doc:"Number of generated programs.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Run cases on $(docv) parallel domains (default: the \
+                   host's recommended count; OMLT_JOBS also overrides). \
+                   Results are identical to a serial run.")
+  in
+  let out =
+    Arg.(value & opt string "_fuzz"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk reproducers of failing cases.")
+  in
+  let no_repro =
+    Arg.(value & flag
+         & info [ "no-repro" ] ~doc:"Do not write reproducer directories.")
+  in
+  let replay =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"CASESEED"
+             ~doc:"Re-run the single case with this derived seed (printed \
+                   in failure reports and reproducer READMEs) instead of a \
+                   campaign.")
+  in
+  let dump =
+    Arg.(value & flag
+         & info [ "dump" ]
+             ~doc:"With --replay: print the generated minic modules before \
+                   running the oracles.")
+  in
+  let run seed count jobs out no_repro replay dump () =
+    match replay with
+    | Some cs -> (
+        if dump then
+          List.iter
+            (fun (name, src) -> Printf.printf "// --- %s ---\n%s\n" name src)
+            (Fuzz.Prog.render (Fuzz.Gen.program cs));
+        match Fuzz.run_case cs with
+        | Ok () ->
+            Printf.printf "case seed %d: all oracles passed\n" cs;
+            Ok ()
+        | Error f ->
+            Error (Format.asprintf "case seed %d: %a" cs Fuzz.Oracle.pp_failure f))
+    | None ->
+        let out_dir = if no_repro then None else Some out in
+        let progress ~done_ ~total ~failed =
+          Printf.eprintf "\rfuzz: %d/%d cases, %d failure(s)%!" done_ total
+            failed
+        in
+        let r = Fuzz.campaign ?jobs ~out_dir ~progress ~seed ~count () in
+        Printf.eprintf "\n%!";
+        Format.printf "%a@." Fuzz.pp_report r;
+        if r.Fuzz.failed = [] then Ok ()
+        else
+          Error
+            (Printf.sprintf "%d of %d cases failed"
+               (List.length r.Fuzz.failed) count)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random minic programs, link them \
+          at every level (plus a merged build), and require identical \
+          observable behavior, a clean structural verification, and \
+          agreement between the two simulators. Failures are shrunk to \
+          minimal reproducers.")
+    (reporting
+       Term.(const run $ seed $ count $ jobs $ out $ no_repro $ replay $ dump))
+
 (* --- serve: the persistent link daemon --- *)
 
 let socket_arg =
@@ -755,6 +836,6 @@ let main =
          "Link-time optimization of address calculation on a 64-bit \
           architecture (Srivastava & Wall, PLDI 1994), reproduced.")
     [ compile_cmd; dis_cmd; run_cmd; image_cmd; stats_cmd; profile_cmd;
-      suite_cmd; serve_cmd; client_cmd ]
+      suite_cmd; fuzz_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -20,7 +20,13 @@ let () =
         Printf.eprintf "unknown benchmark %s\n" bench;
         exit 1
   in
-  let world = Workloads.Suite.compile_cached Workloads.Suite.Compile_each b in
+  let world =
+    match Workloads.Suite.compile_cached Workloads.Suite.Compile_each b with
+    | Ok w -> w
+    | Error m ->
+        Printf.eprintf "%s\n" m;
+        exit 1
+  in
   let std = Result.get_ok (Linker.Link.link_resolved world) in
   let full =
     match Om.optimize_resolved Om.Full world with

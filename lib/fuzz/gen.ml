@@ -1,0 +1,469 @@
+module P = Prog
+
+(* Budgets are estimated dynamic instruction counts: generation charges
+   each construct (times its enclosing loop multiplier) against the
+   function's budget, so no generated case can blow the simulation up.
+   The numbers are loose upper bounds, not measurements. *)
+let fn_budget = 20_000
+let main_budget = 100_000
+let pv_call_cost = fn_budget + 200
+
+(* 64-bit-interesting literals: boundary values, values needing the
+   literal pool, values that don't fit lda/ldah displacement windows. *)
+let constants =
+  [ 0L; 1L; 2L; 3L; 7L; 8L; 13L; 100L; 255L; 4095L; 32767L; 32768L;
+    65535L; 1000000L; 2654435761L; 4294967295L; 123456789123L;
+    0x7FFFFFFFFFFFFFFFL; -1L; -2L; -255L; -32768L; -123456789123L ]
+
+(* globally-visible function metadata, decided before bodies exist *)
+type fsig = {
+  s_name : string;
+  s_module : int;
+  s_static : bool;
+  s_params : P.param list;
+  s_pv_free : bool;
+      (* makes no pv calls, directly or transitively — the property a
+         pv target needs so indirect dispatch can never recurse *)
+  mutable s_cost : int; (* estimated cost of one call, set after body gen *)
+}
+
+type genv = {
+  scalars : string list;          (* readable scalar names *)
+  writables : string list;        (* assignable scalars (locals, data globals) *)
+  arrays : (string * int) list;   (* (name, index mask) *)
+  passable : string list;         (* arrays ≥ ptr_mask+1 elements *)
+  loop_depth : int;
+}
+
+type fctx = {
+  rng : Rng.t;
+  mutable budget : int;
+  mutable fresh : int;
+  callables : fsig list;          (* direct-call candidates *)
+  pvs : (string * int) list;      (* (pv global, arity) usable here *)
+}
+
+let fresh c prefix =
+  let n = c.fresh in
+  c.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let charge c ~mult n =
+  c.budget <- c.budget - (mult * n)
+
+let affordable c ~mult n = c.budget >= mult * n
+
+(* --- expressions --- *)
+
+let gen_leaf c (env : genv) =
+  let choices =
+    [ (3, `Const); (1, `Zero) ]
+    @ (if env.scalars <> [] then [ (4, `Var) ] else [])
+    @ if env.arrays <> [] then [ (2, `Idx) ] else []
+  in
+  match Rng.weighted c.rng choices with
+  | `Const -> P.Int (Rng.choose c.rng constants)
+  | `Zero -> P.Int (Int64.of_int (Rng.int c.rng 16))
+  | `Var -> P.Var (Rng.choose c.rng env.scalars)
+  | `Idx ->
+      let a, mask = Rng.choose c.rng env.arrays in
+      let inner =
+        if env.scalars <> [] && Rng.bool c.rng then
+          P.Var (Rng.choose c.rng env.scalars)
+        else P.Int (Int64.of_int (Rng.int c.rng (mask + 1)))
+      in
+      P.Idx (a, mask, inner)
+
+let binops =
+  [ (4, P.Add); (3, P.Sub); (2, P.Mul); (1, P.Div); (1, P.Rem);
+    (1, P.Shl); (1, P.Shr); (2, P.Band); (2, P.Bor); (2, P.Bxor);
+    (1, P.Eq); (1, P.Ne); (1, P.Lt); (1, P.Le); (1, P.Gt); (1, P.Ge);
+    (1, P.Land); (1, P.Lor) ]
+
+(* library routines safe for arbitrary arguments *)
+let lib_calls = [ ("iabs", 1, 12); ("imin", 2, 12); ("imax", 2, 12); ("randq", 0, 25) ]
+
+let rec gen_expr c env ~mult ~depth =
+  if depth <= 0 then gen_leaf c env
+  else begin
+    let callables =
+      List.filter
+        (fun s ->
+          affordable c ~mult s.s_cost
+          && List.for_all
+               (function P.Pptr _ -> env.passable <> [] | P.Pscalar _ -> true)
+               s.s_params)
+        c.callables
+    in
+    let pvs_ok = c.pvs <> [] && affordable c ~mult pv_call_cost in
+    let choices =
+      [ (5, `Bin); (1, `Un); (3, `Leaf); (2, `Lib) ]
+      @ (if callables <> [] then [ (3, `Call) ] else [])
+      @ if pvs_ok then [ (2, `Pv) ] else []
+    in
+    match Rng.weighted c.rng choices with
+    | `Leaf -> gen_leaf c env
+    | `Un ->
+        P.Un
+          (Rng.choose c.rng [ P.Neg; P.Lnot; P.Bnot ],
+           gen_expr c env ~mult ~depth:(depth - 1))
+    | `Bin ->
+        let op = Rng.weighted c.rng binops in
+        P.Bin
+          (op,
+           gen_expr c env ~mult ~depth:(depth - 1),
+           gen_expr c env ~mult ~depth:(depth - 1))
+    | `Lib ->
+        let name, arity, cost = Rng.choose c.rng lib_calls in
+        charge c ~mult cost;
+        P.Call
+          (name,
+           List.init arity (fun _ ->
+               P.Aexpr (gen_expr c env ~mult ~depth:(depth - 1))))
+    | `Call ->
+        let s = Rng.choose c.rng callables in
+        charge c ~mult s.s_cost;
+        P.Call
+          (s.s_name,
+           List.map
+             (function
+               | P.Pscalar _ ->
+                   P.Aexpr (gen_expr c env ~mult ~depth:(depth - 1))
+               | P.Pptr _ -> P.Aarr (Rng.choose c.rng env.passable))
+             s.s_params)
+    | `Pv ->
+        let pv, arity = Rng.choose c.rng c.pvs in
+        charge c ~mult pv_call_cost;
+        P.Call
+          (pv,
+           List.init arity (fun _ ->
+               P.Aexpr (gen_expr c env ~mult ~depth:(depth - 1))))
+  end
+
+(* --- statements --- *)
+
+let rec gen_stmt c env ~mult : P.stmt list * genv =
+  let depth = 1 + Rng.int c.rng 3 in
+  let choices =
+    [ (3, `Let); (2, `Print) ]
+    @ (if env.writables <> [] then [ (4, `Assign) ] else [])
+    @ (if env.arrays <> [] then [ (3, `AssignIdx) ] else [])
+    @ (if env.loop_depth < 2 && affordable c ~mult 64 then [ (3, `Loop) ] else [])
+    @ (if affordable c ~mult 16 then [ (2, `If) ] else [])
+    @ if env.loop_depth = 0 && affordable c ~mult 120 then [ (1, `LetArr) ] else []
+  in
+  charge c ~mult 6;
+  match Rng.weighted c.rng choices with
+  | `Let ->
+      let x = fresh c "x" in
+      ( [ P.Let (x, gen_expr c env ~mult ~depth) ],
+        { env with
+          scalars = x :: env.scalars;
+          writables = x :: env.writables } )
+  | `Print -> ([ P.Print (gen_expr c env ~mult ~depth) ], env)
+  | `Assign ->
+      let x = Rng.choose c.rng env.writables in
+      ([ P.Assign (x, gen_expr c env ~mult ~depth) ], env)
+  | `AssignIdx ->
+      let a, mask = Rng.choose c.rng env.arrays in
+      ( [ P.AssignIdx
+            (a, mask, gen_expr c env ~mult ~depth:1,
+             gen_expr c env ~mult ~depth) ],
+        env )
+  | `LetArr ->
+      let a = fresh c "la" in
+      charge c ~mult 110;
+      ( [ P.LetArr (a, 16) ],
+        { env with
+          arrays = (a, 15) :: env.arrays;
+          passable = a :: env.passable } )
+  | `If ->
+      let cond = gen_expr c env ~mult ~depth:2 in
+      let nthen = 1 + Rng.int c.rng 2 in
+      let nelse = Rng.int c.rng 2 in
+      let a = gen_block c env ~mult ~n:nthen in
+      let b = gen_block c env ~mult ~n:nelse in
+      (* a conditional early return, sometimes, in one branch only *)
+      let a =
+        if Rng.int c.rng 6 = 0 then
+          a @ [ P.Ret (gen_expr c env ~mult ~depth:1) ]
+        else a
+      in
+      ([ P.If (cond, a, b) ], env)
+  | `Loop ->
+      let v = fresh c "i" in
+      let bound = Rng.choose c.rng [ 2; 3; 4; 5; 8; 16 ] in
+      let inner =
+        { env with
+          scalars = v :: env.scalars;
+          loop_depth = env.loop_depth + 1 }
+      in
+      let body =
+        gen_block c inner ~mult:(mult * bound) ~n:(1 + Rng.int c.rng 3)
+      in
+      ([ P.Loop (v, bound, body) ], env)
+
+and gen_block c env ~mult ~n : P.stmt list =
+  let rec go env n acc =
+    if n = 0 then List.rev acc
+    else
+      let stmts, env = gen_stmt c env ~mult in
+      go env (n - 1) (List.rev_append stmts acc)
+  in
+  go env n []
+
+(* --- whole programs --- *)
+
+type gdecl = { d_name : string; d_module : int; d_static : bool; d_kind : [ `Scalar of int64 | `Array of int ] }
+
+let program seed =
+  let rng = Rng.create seed in
+  let nmods = 1 + Rng.int rng 3 in
+  (* data globals *)
+  let gctr = ref 0 in
+  let decls = ref [] in
+  for m = 0 to nmods - 1 do
+    for _ = 0 to Rng.int rng 3 do
+      let name = Printf.sprintf "g%d" !gctr in
+      incr gctr;
+      decls :=
+        { d_name = name; d_module = m; d_static = Rng.int rng 4 = 0;
+          d_kind = `Scalar (Rng.choose rng constants) }
+        :: !decls
+    done;
+    for _ = 1 to Rng.int rng 3 do
+      let name = Printf.sprintf "ar%d" !gctr in
+      incr gctr;
+      let sz = Rng.choose rng [ 16; 16; 64; 256; 1024 ] in
+      decls :=
+        { d_name = name; d_module = m; d_static = Rng.int rng 5 = 0;
+          d_kind = `Array sz }
+        :: !decls
+    done
+  done;
+  (* occasionally a big array that pushes later data out of the GP window *)
+  if Rng.int rng 3 = 0 then begin
+    let name = Printf.sprintf "ar%d" !gctr in
+    incr gctr;
+    decls :=
+      { d_name = name; d_module = Rng.int rng nmods; d_static = false;
+        d_kind = `Array (Rng.choose rng [ 4096; 8192 ]) }
+      :: !decls
+  end;
+  let decls = List.rev !decls in
+  (* function signatures; bodies come later, in index order *)
+  let nf = 2 + Rng.int rng 6 in
+  let sigs =
+    List.init nf (fun i ->
+        let nscalar = Rng.int rng 4 in
+        let nptr = if Rng.int rng 3 = 0 then 1 else 0 in
+        let params =
+          List.init nscalar (fun k -> P.Pscalar (Printf.sprintf "p%d" k))
+          @ List.init nptr (fun k -> P.Pptr (Printf.sprintf "q%d" k))
+        in
+        { s_name = Printf.sprintf "f%d" i;
+          s_module = Rng.int rng nmods;
+          s_static = Rng.int rng 4 = 0;
+          s_params = params;
+          s_pv_free = Rng.int rng 3 > 0;
+          s_cost = fn_budget })
+  in
+  (* procedure variables: arities drawn from eligible targets *)
+  let pv_targets =
+    List.filter
+      (fun s ->
+        s.s_pv_free && (not s.s_static)
+        && List.for_all (function P.Pscalar _ -> true | P.Pptr _ -> false)
+             s.s_params)
+      sigs
+  in
+  let npv = if pv_targets = [] then 0 else Rng.int rng 3 in
+  let pvs =
+    List.init npv (fun k ->
+        let target = Rng.choose rng pv_targets in
+        ( Printf.sprintf "pv%d" k,
+          Rng.int rng nmods,
+          List.length target.s_params ))
+  in
+  (* environment pieces visible from module [m] *)
+  let visible_scalars m =
+    List.filter_map
+      (fun d ->
+        match d.d_kind with
+        | `Scalar _ when (not d.d_static) || d.d_module = m -> Some d.d_name
+        | _ -> None)
+      decls
+  in
+  let visible_arrays m =
+    List.filter_map
+      (fun d ->
+        match d.d_kind with
+        | `Array sz when (not d.d_static) || d.d_module = m ->
+            Some (d.d_name, sz - 1)
+        | _ -> None)
+      decls
+  in
+  let base_env m params =
+    let pscalars =
+      List.filter_map
+        (function P.Pscalar p -> Some p | P.Pptr _ -> None)
+        params
+    in
+    let pptrs =
+      List.filter_map
+        (function P.Pptr p -> Some (p, P.ptr_mask) | P.Pscalar _ -> None)
+        params
+    in
+    let globals = visible_scalars m in
+    let arrays = visible_arrays m in
+    { scalars = pscalars @ globals;
+      writables = globals;
+      arrays = pptrs @ arrays;
+      passable =
+        List.filter_map
+          (fun (a, mask) -> if mask >= P.ptr_mask then Some a else None)
+          arrays;
+      loop_depth = 0 }
+  in
+  (* bodies, in index order so callee costs are known *)
+  let bodies = Hashtbl.create 16 in
+  List.iteri
+    (fun i s ->
+      let callables =
+        List.filteri
+          (fun j s' ->
+            j < i
+            && ((not s'.s_static) || s'.s_module = s.s_module)
+            && ((not s.s_pv_free) || s'.s_pv_free))
+          sigs
+      in
+      let fpvs =
+        if s.s_pv_free then []
+        else List.map (fun (pv, _, arity) -> (pv, arity)) pvs
+      in
+      let c = { rng; budget = fn_budget; fresh = 0; callables; pvs = fpvs } in
+      let env = base_env s.s_module s.s_params in
+      let n = 1 + Rng.int rng 4 in
+      let body = gen_block c env ~mult:1 ~n in
+      let body = body @ [ P.Ret (gen_expr c env ~mult:1 ~depth:2) ] in
+      s.s_cost <- max 40 (fn_budget - c.budget + 40);
+      Hashtbl.replace bodies s.s_name body)
+    sigs;
+  (* main: last module, last function *)
+  let main_module = nmods - 1 in
+  let main_body =
+    let c =
+      { rng;
+        budget = main_budget;
+        fresh = 0;
+        callables =
+          List.filter
+            (fun s -> (not s.s_static) || s.s_module = main_module)
+            sigs;
+        pvs = List.map (fun (pv, _, arity) -> (pv, arity)) pvs }
+    in
+    let env = base_env main_module [] in
+    (* bind every procedure variable before anything can call it *)
+    let assigns =
+      List.map
+        (fun (pv, _, arity) ->
+          let cands =
+            List.filter
+              (fun s -> List.length s.s_params = arity)
+              pv_targets
+          in
+          P.TakeAddr (pv, (Rng.choose rng cands).s_name))
+        pvs
+    in
+    let body = gen_block c env ~mult:1 ~n:(2 + Rng.int rng 5) in
+    (* sometimes retarget a pv mid-stream and compute some more *)
+    let body =
+      match pvs with
+      | (pv, _, arity) :: _ when Rng.bool rng ->
+          let cands =
+            List.filter (fun s -> List.length s.s_params = arity) pv_targets
+          in
+          body
+          @ [ P.TakeAddr (pv, (Rng.choose rng cands).s_name) ]
+          @ gen_block c env ~mult:1 ~n:(1 + Rng.int rng 2)
+      | _ -> body
+    in
+    (* epilogue: print every visible data global so layout bugs become
+       observable output differences (pv globals hold addresses and are
+       deliberately excluded) *)
+    let epilogue =
+      List.concat
+        (List.mapi
+           (fun k d ->
+             if d.d_static && d.d_module <> main_module then []
+             else
+               match d.d_kind with
+               | `Scalar _ -> [ P.Print (P.Var d.d_name) ]
+               | `Array sz ->
+                   let bound = min sz 256 in
+                   let ck = Printf.sprintf "ck%d" k in
+                   let ci = Printf.sprintf "ci%d" k in
+                   [ P.Let (ck, P.Int 0L);
+                     P.Loop
+                       ( ci, bound,
+                         [ P.Assign
+                             ( ck,
+                               P.Bin
+                                 ( P.Bxor,
+                                   P.Var ck,
+                                   P.Bin
+                                     ( P.Add,
+                                       P.Idx (d.d_name, sz - 1, P.Var ci),
+                                       P.Var ci ) ) ) ] );
+                     P.Print (P.Var ck) ])
+           decls)
+    in
+    assigns @ body @ epilogue @ [ P.Ret (gen_expr c env ~mult:1 ~depth:1) ]
+  in
+  (* assemble modules *)
+  let modules =
+    List.init nmods (fun m ->
+        let globals =
+          List.filter_map
+            (fun d ->
+              if d.d_module <> m then None
+              else
+                match d.d_kind with
+                | `Scalar init ->
+                    Some
+                      (P.Gscalar
+                         { name = d.d_name; static = d.d_static; init;
+                           is_pv = false })
+                | `Array size ->
+                    Some
+                      (P.Garray
+                         { name = d.d_name; static = d.d_static; size }))
+            decls
+          @ List.filter_map
+              (fun (pv, pm, _) ->
+                if pm <> m then None
+                else
+                  Some
+                    (P.Gscalar
+                       { name = pv; static = false; init = 0L; is_pv = true }))
+              pvs
+        in
+        let funcs =
+          List.filteri (fun _ _ -> true) sigs
+          |> List.filter (fun s -> s.s_module = m)
+          |> List.map (fun s ->
+                 { P.fname = s.s_name;
+                   fstatic = s.s_static;
+                   params = s.s_params;
+                   body = Hashtbl.find bodies s.s_name })
+        in
+        let funcs =
+          if m = main_module then
+            funcs
+            @ [ { P.fname = "main"; fstatic = false; params = [];
+                  body = main_body } ]
+          else funcs
+        in
+        { P.mname = Printf.sprintf "m%d" m; globals; funcs })
+  in
+  { P.modules }

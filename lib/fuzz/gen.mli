@@ -1,0 +1,18 @@
+(** Seed-driven random program generation.
+
+    [program seed] builds a multi-module {!Prog.t} exercising the whole
+    OM surface: scalar and array globals spread across modules and
+    sections (including occasional 32–64KB arrays that push data past
+    the GP window), static vs exported symbols, direct and cross-module
+    calls, calls through procedure variables, bounded loops, and the
+    full expression grammar.
+
+    Generation is pure in the seed: the same seed yields the same
+    program on every host and domain count. Every generated program is
+    deterministic and terminating by construction (see {!Prog}), with an
+    estimated dynamic cost kept under a fixed instruction budget so
+    simulation stays fast. The program prints a checksum of every
+    reachable non-pointer global at exit, so silent data corruption
+    becomes an observable behavioral difference. *)
+
+val program : int -> Prog.t

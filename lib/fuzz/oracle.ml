@@ -1,0 +1,163 @@
+type failure = { stage : string; detail : string }
+
+let pp_failure ppf f = Format.fprintf ppf "[%s] %s" f.stage f.detail
+let generated_failure f = f.stage = "compile" || f.stage = "resolve"
+
+let fail stage fmt =
+  Format.kasprintf (fun detail -> Error { stage; detail }) fmt
+
+let ( let* ) = Result.bind
+
+(* Generated programs are budget-bounded to a couple hundred thousand
+   instructions; a limit three orders of magnitude above that catches a
+   divergent image in well under a second instead of minutes. *)
+let config = { Machine.Cpu.default_config with Machine.Cpu.max_insns = 50_000_000 }
+
+let check_stats what (fast : Machine.Cpu.outcome) (ref_ : Machine.Cpu.outcome)
+    =
+  let s_f = fast.Machine.Cpu.stats and s_r = ref_.Machine.Cpu.stats in
+  let cmp name f =
+    let a = f s_f and b = f s_r in
+    if a = b then Ok () else fail ("interp " ^ what) "%s: fast %d, reference %d" name a b
+  in
+  if fast.Machine.Cpu.output <> ref_.Machine.Cpu.output then
+    fail ("interp " ^ what) "output differs:\nfast     : %S\nreference: %S"
+      fast.Machine.Cpu.output ref_.Machine.Cpu.output
+  else if fast.Machine.Cpu.exit_code <> ref_.Machine.Cpu.exit_code then
+    fail ("interp " ^ what) "exit code: fast %Ld, reference %Ld"
+      fast.Machine.Cpu.exit_code ref_.Machine.Cpu.exit_code
+  else
+    let* () = cmp "insns" (fun s -> s.Machine.Cpu.insns) in
+    let* () = cmp "cycles" (fun s -> s.Machine.Cpu.cycles) in
+    let* () = cmp "loads" (fun s -> s.Machine.Cpu.loads) in
+    let* () = cmp "stores" (fun s -> s.Machine.Cpu.stores) in
+    let* () = cmp "icache misses" (fun s -> s.Machine.Cpu.icache_misses) in
+    let* () = cmp "dcache misses" (fun s -> s.Machine.Cpu.dcache_misses) in
+    cmp "nops" (fun s -> s.Machine.Cpu.nops_executed)
+
+(* Oracle 2: the structural checker must come back clean. *)
+let verify what image =
+  match Om.Verify.image image with
+  | [] -> Ok ()
+  | issues ->
+      fail ("verify " ^ what) "%d issue(s); first: %a" (List.length issues)
+        Om.Verify.pp_issue (List.hd issues)
+
+(* Oracle 3: the decoded fast path and the reference interpreter must
+   agree on the outcome and on every counter. A fault from either is a
+   failure outright — generated programs are well-defined by
+   construction, so no image may trap. *)
+let run_both what image =
+  let* decoded =
+    match Machine.Cpu.decode image with
+    | Ok d -> Ok d
+    | Error e -> fail ("run " ^ what) "decode: %a" Machine.Cpu.pp_error e
+  in
+  let* fast =
+    match Machine.Cpu.run_decoded ~config decoded with
+    | Ok o -> Ok o
+    | Error e -> fail ("run " ^ what) "fast path: %a" Machine.Cpu.pp_error e
+  in
+  let* ref_ =
+    match Machine.Cpu.run_reference ~config image with
+    | Ok o -> Ok o
+    | Error e ->
+        fail ("interp " ^ what) "reference faulted (%a), fast path ran"
+          Machine.Cpu.pp_error e
+  in
+  let* () = check_stats what fast ref_ in
+  Ok fast
+
+(* Oracle 1: observable behavior must not depend on the link
+   configuration. Stats legitimately differ across levels; output and
+   exit state may not. *)
+let check_behavior what ~(baseline : Machine.Cpu.outcome)
+    (o : Machine.Cpu.outcome) =
+  if o.Machine.Cpu.output <> baseline.Machine.Cpu.output then
+    fail ("behavior " ^ what) "output differs from std link:\nstd: %S\n%s: %S"
+      baseline.Machine.Cpu.output what o.Machine.Cpu.output
+  else if o.Machine.Cpu.exit_code <> baseline.Machine.Cpu.exit_code then
+    fail ("behavior " ^ what) "exit code differs from std link: std %Ld, %s %Ld"
+      baseline.Machine.Cpu.exit_code what o.Machine.Cpu.exit_code
+  else Ok ()
+
+let check_image what ?baseline image =
+  let* () = verify what image in
+  let* outcome = run_both what image in
+  let* () =
+    match baseline with
+    | None -> Ok ()
+    | Some b -> check_behavior what ~baseline:b outcome
+  in
+  Ok outcome
+
+let std_link what world =
+  match Linker.Link.link_resolved world with
+  | Ok image -> Ok image
+  | Error m -> fail ("link " ^ what) "%s" m
+
+let om_link what level world =
+  match Om.optimize_resolved level world with
+  | Ok { Om.image; _ } -> Ok image
+  | Error m -> fail (Printf.sprintf "link %s" what) "%s" m
+
+let check_world tag world ?baseline () =
+  let* std = std_link (tag ^ "std") world in
+  let* base = check_image (tag ^ "std") ?baseline std in
+  let baseline = Option.value baseline ~default:base in
+  let rec levels = function
+    | [] -> Ok baseline
+    | level :: rest ->
+        let what = tag ^ Om.level_name level in
+        let* image = om_link what level world in
+        let* _ = check_image what ~baseline image in
+        levels rest
+  in
+  levels Om.all_levels
+
+let check_sources_exn sources =
+  (* Compile-each: the paper's conservative per-module build, the
+     configuration with the most GAT and GP-setup pressure. *)
+  let* units =
+    try
+      Ok
+        (List.map
+           (fun (name, src) ->
+             Minic.Driver.compile_module ~opt:Minic.Driver.O2
+               ~prelude:Runtime.prelude ~name src)
+           sources)
+    with Minic.Driver.Error m -> fail "compile" "%s" m
+  in
+  let* world =
+    match Linker.Resolve.run units ~archives:[ Runtime.libstd () ] with
+    | Ok w -> Ok w
+    | Error m -> fail "resolve" "%s" m
+  in
+  let* baseline = check_world "" world () in
+  (* Compile-all: merged with interprocedural knowledge and inlining —
+     the other §5 build style; must still behave identically. *)
+  let* merged =
+    try
+      Ok
+        (Minic.Driver.compile_merged ~opt:Minic.Driver.O2
+           ~prelude:Runtime.prelude ~name:"fuzz_all.o" sources)
+    with Minic.Driver.Error m -> fail "compile" "merged: %s" m
+  in
+  let* world_all =
+    match Linker.Resolve.run [ merged ] ~archives:[ Runtime.libstd () ] with
+    | Ok w -> Ok w
+    | Error m -> fail "resolve" "merged: %s" m
+  in
+  let* _ = check_world "merged " world_all ~baseline () in
+  Ok ()
+
+(* A stray exception anywhere in the pipeline — an [invalid_arg] deep in
+   codegen, say — is itself a reportable finding, and must not take the
+   whole campaign down through the domain pool. [Driver.Error] is already
+   mapped to the "compile" stage above, so whatever reaches this handler
+   is a crash, which the shrinker treats as a pipeline-class failure. *)
+let check_sources sources =
+  try check_sources_exn sources
+  with e -> fail "exception" "%s" (Printexc.to_string e)
+
+let check prog = check_sources (Prog.render prog)

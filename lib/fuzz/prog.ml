@@ -1,0 +1,359 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Int of int64
+  | Var of string
+  | Idx of string * int * expr
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Call of string * arg list
+
+and arg =
+  | Aexpr of expr
+  | Aarr of string
+
+type stmt =
+  | Let of string * expr
+  | LetArr of string * int
+  | Assign of string * expr
+  | AssignIdx of string * int * expr * expr
+  | TakeAddr of string * string
+  | If of expr * stmt list * stmt list
+  | Loop of string * int * stmt list
+  | Print of expr
+  | Ret of expr
+
+type param = Pscalar of string | Pptr of string
+
+let ptr_mask = 15
+
+type func = {
+  fname : string;
+  fstatic : bool;
+  params : param list;
+  body : stmt list;
+}
+
+type global =
+  | Gscalar of { name : string; static : bool; init : int64; is_pv : bool }
+  | Garray of { name : string; static : bool; size : int }
+
+type modul = {
+  mname : string;
+  globals : global list;
+  funcs : func list;
+}
+
+type t = { modules : modul list }
+
+(* --- size --- *)
+
+let rec expr_size = function
+  | Int _ | Var _ -> 1
+  | Idx (_, _, e) -> 1 + expr_size e
+  | Un (_, e) -> 1 + expr_size e
+  | Bin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Call (_, args) ->
+      1
+      + List.fold_left
+          (fun acc -> function Aexpr e -> acc + expr_size e | Aarr _ -> acc + 1)
+          0 args
+
+let rec stmt_size = function
+  | Let (_, e) | Assign (_, e) | Print e | Ret e -> 1 + expr_size e
+  | LetArr _ | TakeAddr _ -> 1
+  | AssignIdx (_, _, i, e) -> 1 + expr_size i + expr_size e
+  | If (c, a, b) -> 1 + expr_size c + block_size a + block_size b
+  | Loop (_, _, body) -> 2 + block_size body
+
+and block_size stmts = List.fold_left (fun acc s -> acc + stmt_size s) 0 stmts
+
+let size t =
+  List.fold_left
+    (fun acc m ->
+      acc
+      + List.length m.globals
+      + List.fold_left (fun a f -> a + 1 + block_size f.body) 0 m.funcs)
+    0 t.modules
+
+(* --- rendering --- *)
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+
+(* Negative values render as two's-complement hex: the lexer takes the
+   full unsigned 64-bit range there, so every constant — min_int
+   included — has a literal spelling valid in any context, global
+   initializers' [= integer] grammar in particular. *)
+let int_str v =
+  if Int64.compare v 0L < 0 then Printf.sprintf "0x%Lx" v
+  else Int64.to_string v
+
+let rec expr_str = function
+  | Int v -> int_str v
+  | Var x -> x
+  | Idx (a, mask, e) -> Printf.sprintf "%s[(%s) & %d]" a (expr_str e) mask
+  | Un (Neg, e) -> Printf.sprintf "(0 - %s)" (expr_str e)
+  | Un (Lnot, e) -> Printf.sprintf "(!%s)" (expr_str e)
+  | Un (Bnot, e) -> Printf.sprintf "(~%s)" (expr_str e)
+  (* the sanitized operators: a well-defined result for every operand *)
+  | Bin (Div, a, b) ->
+      Printf.sprintf "(%s / (%s | 1))" (expr_str a) (expr_str b)
+  | Bin (Rem, a, b) ->
+      Printf.sprintf "(%s %% (%s | 1))" (expr_str a) (expr_str b)
+  | Bin (Shl, a, b) ->
+      Printf.sprintf "(%s << (%s & 63))" (expr_str a) (expr_str b)
+  | Bin (Shr, a, b) ->
+      Printf.sprintf "(%s >> (%s & 63))" (expr_str a) (expr_str b)
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", "
+           (List.map
+              (function Aexpr e -> expr_str e | Aarr a -> a)
+              args))
+
+let rec stmt_lines ind s =
+  let pad = String.make (2 * ind) ' ' in
+  match s with
+  | Let (x, e) -> [ Printf.sprintf "%svar %s = %s;" pad x (expr_str e) ]
+  | LetArr (a, n) ->
+      (* a local array is filled before any use: reading undefined stack
+         slots would make the differential oracles unsound *)
+      [ Printf.sprintf "%svar %s[%d];" pad a n;
+        Printf.sprintf "%svar %s_i = 0;" pad a;
+        Printf.sprintf
+          "%swhile (%s_i < %d) { %s[%s_i] = (%s_i * 2654435761) ^ 99991; %s_i \
+           = %s_i + 1; }"
+          pad a n a a a a a ]
+  | Assign (x, e) -> [ Printf.sprintf "%s%s = %s;" pad x (expr_str e) ]
+  | AssignIdx (a, mask, i, e) ->
+      [ Printf.sprintf "%s%s[(%s) & %d] = %s;" pad a (expr_str i) mask
+          (expr_str e) ]
+  | TakeAddr (pv, f) -> [ Printf.sprintf "%s%s = &%s;" pad pv f ]
+  | If (c, a, []) ->
+      [ Printf.sprintf "%sif (%s) {" pad (expr_str c) ]
+      @ block_lines (ind + 1) a
+      @ [ pad ^ "}" ]
+  | If (c, a, b) ->
+      [ Printf.sprintf "%sif (%s) {" pad (expr_str c) ]
+      @ block_lines (ind + 1) a
+      @ [ pad ^ "} else {" ]
+      @ block_lines (ind + 1) b
+      @ [ pad ^ "}" ]
+  | Loop (v, n, body) ->
+      [ Printf.sprintf "%svar %s = 0;" pad v;
+        Printf.sprintf "%swhile (%s < %d) {" pad v n ]
+      @ block_lines (ind + 1) body
+      @ [ Printf.sprintf "%s  %s = %s + 1;" pad v v; pad ^ "}" ]
+  | Print e -> [ Printf.sprintf "%sio_putint_nl(%s);" pad (expr_str e) ]
+  | Ret e -> [ Printf.sprintf "%sreturn %s;" pad (expr_str e) ]
+
+and block_lines ind stmts = List.concat_map (stmt_lines ind) stmts
+
+(* --- cross-module reference collection --- *)
+
+module Sset = Set.Make (String)
+
+let rec expr_refs acc = function
+  | Int _ -> acc
+  | Var x -> Sset.add x acc
+  | Idx (a, _, e) -> expr_refs (Sset.add a acc) e
+  | Un (_, e) -> expr_refs acc e
+  | Bin (_, a, b) -> expr_refs (expr_refs acc a) b
+  | Call (f, args) ->
+      List.fold_left
+        (fun acc -> function
+          | Aexpr e -> expr_refs acc e
+          | Aarr a -> Sset.add a acc)
+        (Sset.add f acc) args
+
+let rec stmt_refs acc = function
+  | Let (_, e) | Print e | Ret e -> expr_refs acc e
+  | LetArr _ -> acc
+  | Assign (x, e) -> expr_refs (Sset.add x acc) e
+  | AssignIdx (a, _, i, e) -> expr_refs (expr_refs (Sset.add a acc) i) e
+  | TakeAddr (pv, f) -> Sset.add pv (Sset.add f acc)
+  | If (c, a, b) -> block_refs (block_refs (expr_refs acc c) a) b
+  | Loop (_, _, body) -> block_refs acc body
+
+and block_refs acc stmts = List.fold_left stmt_refs acc stmts
+
+type def =
+  | Dfunc of { arity : int; static : bool; dmod : string }
+  | Dscalar of { static : bool; dmod : string }
+  | Darray of { static : bool; dmod : string }
+
+let definitions t =
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      List.iter
+        (function
+          | Gscalar { name; static; _ } ->
+              Hashtbl.replace defs name (Dscalar { static; dmod = m.mname })
+          | Garray { name; static; _ } ->
+              Hashtbl.replace defs name (Darray { static; dmod = m.mname }))
+        m.globals;
+      List.iter
+        (fun f ->
+          Hashtbl.replace defs f.fname
+            (Dfunc
+               { arity = List.length f.params;
+                 static = f.fstatic;
+                 dmod = m.mname }))
+        m.funcs)
+    t.modules;
+  defs
+
+let render t =
+  let defs = definitions t in
+  List.map
+    (fun m ->
+      let buf = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+      (* externs for everything referenced here but defined elsewhere;
+         library routines are covered by the compiler prelude *)
+      let refs =
+        List.fold_left (fun acc f -> block_refs acc f.body) Sset.empty m.funcs
+      in
+      Sset.iter
+        (fun name ->
+          match Hashtbl.find_opt defs name with
+          | Some (Dfunc { arity; static = false; dmod }) when dmod <> m.mname ->
+              line "extern func %s(%s);" name
+                (String.concat ", " (List.init arity (Printf.sprintf "x%d")))
+          | Some (Dscalar { static = false; dmod }) when dmod <> m.mname ->
+              line "extern var %s;" name
+          | Some (Darray { static = false; dmod }) when dmod <> m.mname ->
+              line "extern var %s[];" name
+          | _ -> ())
+        refs;
+      List.iter
+        (function
+          | Gscalar { name; static; init; _ } ->
+              line "%svar %s = %s;" (if static then "static " else "") name
+                (int_str init)
+          | Garray { name; static; size } ->
+              line "%svar %s[%d];" (if static then "static " else "") name size)
+        m.globals;
+      List.iter
+        (fun f ->
+          line "%sfunc %s(%s) {"
+            (if f.fstatic then "static " else "")
+            f.fname
+            (String.concat ", "
+               (List.map (function Pscalar p | Pptr p -> p) f.params));
+          List.iter (fun l -> line "%s" l) (block_lines 1 f.body);
+          (* a function that falls off the end would return whatever the
+             return register held — append an explicit return unless the
+             body already ends on one *)
+          (match List.rev f.body with
+          | Ret _ :: _ -> ()
+          | _ -> line "  return 0;");
+          line "}")
+        m.funcs;
+      (m.mname, Buffer.contents buf))
+    t.modules
+
+(* --- shrinking --- *)
+
+let is_int = function Int _ -> true | _ -> false
+
+(* Candidate replacement blocks for one statement; every candidate is
+   strictly smaller than the original under [size]. *)
+let rec shrink_stmt (s : stmt) : stmt list list =
+  match s with
+  | Let (x, e) -> if is_int e then [] else [ [ Let (x, Int 1L) ] ]
+  | LetArr _ -> []
+  | Assign (x, e) -> if is_int e then [] else [ [ Assign (x, Int 1L) ] ]
+  | AssignIdx (a, m, i, e) ->
+      (if is_int i then [] else [ [ AssignIdx (a, m, Int 0L, e) ] ])
+      @ if is_int e then [] else [ [ AssignIdx (a, m, i, Int 1L) ] ]
+  | TakeAddr _ -> []
+  | Print e -> if is_int e then [] else [ [ Print (Int 1L) ] ]
+  | Ret e -> if is_int e then [] else [ [ Ret (Int 0L) ] ]
+  | If (c, a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> [ If (c, a', b) ]) (shrink_block a)
+      @ List.map (fun b' -> [ If (c, a, b') ]) (shrink_block b)
+      @ if is_int c then [] else [ [ If (Int 1L, a, b) ] ]
+  | Loop (v, n, body) ->
+      (* [Let v] keeps the counter in scope for body references *)
+      [ Let (v, Int 0L) :: body ]
+      @ (if n > 1 then [ [ Loop (v, 1, body) ] ] else [])
+      @ List.map (fun b' -> [ Loop (v, n, b') ]) (shrink_block body)
+
+and shrink_block (stmts : stmt list) : stmt list list =
+  let removals =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) stmts) stmts
+  in
+  let inplace =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun repl ->
+               List.concat
+                 (List.mapi (fun j s' -> if i = j then repl else [ s' ]) stmts))
+             (shrink_stmt s))
+         stmts)
+  in
+  removals @ inplace
+
+let replace_nth xs i x = List.mapi (fun j y -> if i = j then x else y) xs
+
+let remove_nth xs i = List.filteri (fun j _ -> j <> i) xs
+
+let shrink_steps t : t Seq.t =
+  let has_main m = List.exists (fun f -> String.equal f.fname "main") m.funcs in
+  let candidates = ref [] in
+  let add c = candidates := c :: !candidates in
+  (* finest first into the accumulator; we reverse at the end so the
+     coarsest reductions are tried first *)
+  List.iteri
+    (fun mi m ->
+      List.iteri
+        (fun fi f ->
+          List.iter
+            (fun body' ->
+              add
+                { modules =
+                    replace_nth t.modules mi
+                      { m with funcs = replace_nth m.funcs fi { f with body = body' } } })
+            (shrink_block f.body))
+        m.funcs)
+    t.modules;
+  List.iteri
+    (fun mi m ->
+      List.iteri
+        (fun gi _ ->
+          add { modules = replace_nth t.modules mi { m with globals = remove_nth m.globals gi } })
+        m.globals;
+      List.iteri
+        (fun fi f ->
+          if f.body <> [] then
+            add
+              { modules =
+                  replace_nth t.modules mi
+                    { m with funcs = replace_nth m.funcs fi { f with body = [] } } };
+          if not (String.equal f.fname "main") then
+            add { modules = replace_nth t.modules mi { m with funcs = remove_nth m.funcs fi } })
+        m.funcs)
+    t.modules;
+  List.iteri
+    (fun mi m -> if not (has_main m) then add { modules = remove_nth t.modules mi })
+    t.modules;
+  List.to_seq !candidates

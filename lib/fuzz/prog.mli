@@ -1,0 +1,91 @@
+(** The fuzzer's own program representation.
+
+    A deliberately small subset of minic, built so that {e every}
+    representable program is well-defined and deterministic: division and
+    shift operands are sanitized at render time, array indexing is masked
+    to the array's (power-of-two) extent, loops have literal bounds, local
+    arrays are zero-filled before use, and every function body ends with a
+    [return]. That discipline is what makes the differential oracles
+    sound — any divergence between link configurations is a pipeline bug,
+    never latent undefined behavior in the generated program.
+
+    Values of this type are what the shrinker reduces: {!shrink_steps}
+    enumerates single-step reductions (drop a module / function / global /
+    statement, splice an [if] branch, collapse a loop bound, replace an
+    expression by a constant), each of which stays inside the same
+    well-defined subset. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Int of int64
+  | Var of string                 (** scalar local, param, or global *)
+  | Idx of string * int * expr    (** [Idx (a, mask, e)]: [a[(e) & mask]] *)
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Call of string * arg list     (** direct call, library call, or
+                                      indirect call through a scalar *)
+
+and arg =
+  | Aexpr of expr
+  | Aarr of string                (** array passed by name (decays to its
+                                      address) into a pointer parameter *)
+
+type stmt =
+  | Let of string * expr          (** [var x = e;] — always initialized *)
+  | LetArr of string * int        (** local array, rendered with a fill
+                                      loop so it is never read undefined *)
+  | Assign of string * expr
+  | AssignIdx of string * int * expr * expr
+  | TakeAddr of string * string   (** [pv = &f;] *)
+  | If of expr * stmt list * stmt list
+  | Loop of string * int * stmt list
+      (** counter loop with a literal bound: [var i = 0; while (i < n) ...] *)
+  | Print of expr                 (** [io_putint_nl(e);] *)
+  | Ret of expr
+
+type param = Pscalar of string | Pptr of string
+(** Pointer parameters are only ever indexed (masked to {!ptr_mask});
+    callers pass arrays of at least [ptr_mask + 1] elements. *)
+
+val ptr_mask : int
+
+type func = {
+  fname : string;
+  fstatic : bool;
+  params : param list;
+  body : stmt list;
+}
+
+type global =
+  | Gscalar of { name : string; static : bool; init : int64; is_pv : bool }
+      (** [is_pv]: holds a procedure address; never printed or used in
+          arithmetic, so address-layout differences between link levels
+          cannot leak into observable output *)
+  | Garray of { name : string; static : bool; size : int }
+
+type modul = {
+  mname : string;
+  globals : global list;
+  funcs : func list;
+}
+
+type t = { modules : modul list }
+
+val size : t -> int
+(** Number of AST nodes — the measure the shrinker drives down. *)
+
+val render : t -> (string * string) list
+(** [(module_name, minic_source)] pairs, ready for the compiler. Emits
+    [extern] declarations for every cross-module reference. *)
+
+val shrink_steps : t -> t Seq.t
+(** All single-step reductions, coarsest first. Every candidate is
+    strictly smaller under {!size}. *)

@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let derive seed index =
+  let z = mix (Int64.add (mix (Int64.of_int seed)) (Int64.mul (Int64.of_int (index + 1)) golden)) in
+  (* keep it positive and int-sized so it reads well in file names *)
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (int64 t) Int64.max_int) (Int64.of_int n))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let weighted t xs =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 xs in
+  if total <= 0 then invalid_arg "Rng.weighted";
+  let k = int t total in
+  let rec go k = function
+    | [] -> invalid_arg "Rng.weighted"
+    | (w, x) :: rest -> if k < w then x else go (k - w) rest
+  in
+  go k xs

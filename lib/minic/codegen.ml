@@ -16,9 +16,14 @@ let scratch_b = R.t11
 
 let arg_regs = R.[ a0; a1; a2; a3; a4; a5 ]
 
-(* Constants an LDAH/LDA pair can build (signed 32-bit span). *)
+(* Constants an LDAH/LDA pair can build: hi * 65536 + lo with both
+   halves signed 16-bit. That span is NOT the signed 32-bit range — its
+   top is 0x7fff7fff, because 0x7fff8000..0x7fffffff would need
+   hi = 0x8000, which overflows ldah's displacement (the bottom extends
+   a little past -2^31 for the mirror reason). Anything outside goes to
+   the literal pool. *)
 let fits32_64 v =
-  Int64.compare v (-2147483648L) >= 0 && Int64.compare v 2147483647L <= 0
+  Int64.compare v (-2147516416L) >= 0 && Int64.compare v 2147450879L <= 0
 
 let fits16_64 v =
   Int64.compare v (-32768L) >= 0 && Int64.compare v 32767L <= 0

@@ -282,7 +282,10 @@ let run ?(options = default_options) (program : S.program)
                   | Objfile.Section.Data -> plan.Datalayout.data_off.(m)
                   | Objfile.Section.Sdata -> plan.Datalayout.sdata_off.(m)
                   | s ->
-                      fail "refquad in unsupported section %s"
+                      fail
+                        "refquad for symbol %s (module %s, offset %d) in \
+                         unsupported section %s"
+                        symbol u.Objfile.Cunit.name r.offset
                         (Objfile.Section.name s)
                 in
                 Bytes.set_int64_le data (sec_off + r.offset) (Int64.of_int addr)

@@ -126,35 +126,50 @@ let time_once f =
   f ();
   Unix.gettimeofday () -. t0
 
-(* best of three, to damp GC noise *)
-let time3 f = min (time_once f) (min (time_once f) (time_once f))
+(* Best of three, to damp GC noise. The timed path returns a [result]
+   rather than exiting through [failwith]: a broken build must surface
+   as this benchmark's error through the callers' result plumbing (the
+   [Term.term_result'] seam in the CLI, an error row in bench), not as a
+   process abort. *)
+let time3 f =
+  let failed = ref None in
+  let once () =
+    time_once (fun () ->
+        match f () with
+        | Ok () -> ()
+        | Error m -> if !failed = None then failed := Some m)
+  in
+  let t = min (once ()) (min (once ()) (once ())) in
+  match !failed with None -> Ok t | Some m -> Error m
 
 let time_builds (b : Workloads.Programs.benchmark) =
-  let units = Workloads.Suite.compile Workloads.Suite.Compile_each b in
+  let ( let* ) = Result.bind in
+  let* units =
+    try Ok (Workloads.Suite.compile Workloads.Suite.Compile_each b)
+    with Minic.Driver.Error m ->
+      Error (Printf.sprintf "%s: compile: %s" b.Workloads.Programs.name m)
+  in
   let archives = [ Runtime.libstd () ] in
   let om_time level =
-    time3 (fun () ->
-        match Om.link ~level units ~archives with
-        | Ok _ -> ()
-        | Error m -> failwith m)
+    time3 (fun () -> Result.map ignore (Om.link ~level units ~archives))
   in
-  { t_std_link =
-      time3 (fun () ->
-          match Linker.Link.link units ~archives with
-          | Ok _ -> ()
-          | Error m -> failwith m);
-    t_interproc =
-      time3 (fun () ->
+  let* t_std_link =
+    time3 (fun () -> Result.map ignore (Linker.Link.link units ~archives))
+  in
+  let* t_interproc =
+    time3 (fun () ->
+        try
           let merged =
             Minic.Driver.compile_merged ~opt:Minic.Driver.O2
               ~prelude:Runtime.prelude
               ~name:(b.Workloads.Programs.name ^ "_all.o")
               b.Workloads.Programs.sources
           in
-          match Linker.Link.link [ merged ] ~archives with
-          | Ok _ -> ()
-          | Error m -> failwith m);
-    t_noopt = om_time Om.No_opt;
-    t_simple = om_time Om.Simple;
-    t_full = om_time Om.Full;
-    t_full_sched = om_time Om.Full_sched }
+          Result.map ignore (Linker.Link.link [ merged ] ~archives)
+        with Minic.Driver.Error m -> Error m)
+  in
+  let* t_noopt = om_time Om.No_opt in
+  let* t_simple = om_time Om.Simple in
+  let* t_full = om_time Om.Full in
+  let* t_full_sched = om_time Om.Full_sched in
+  Ok { t_std_link; t_interproc; t_noopt; t_simple; t_full; t_full_sched }

@@ -53,8 +53,10 @@ type timing = {
   t_full_sched : float;
 }
 
-val time_builds : Workloads.Programs.benchmark -> timing
+val time_builds :
+  Workloads.Programs.benchmark -> (timing, string) Stdlib.result
 (** Wall-clock the six build paths of the paper's Figure 7 (objects are
     pre-compiled for every column except the interprocedural build, which
     compiles from source). Uses wall time, so the numbers stay meaningful
-    when other domains are busy. *)
+    when other domains are busy. A build path that fails surfaces as
+    [Error] (not [failwith]) so callers can fail one benchmark's row. *)

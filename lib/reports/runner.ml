@@ -25,7 +25,15 @@ let matrix ?jobs ?levels ?(progress = silent) benches =
   let lock = Mutex.create () in
   let measure (b, build) =
     Mutex.protect lock (fun () -> progress.on_start b build);
-    let r = Measure.run_benchmark ?levels build b in
+    (* An exception escaping a task would poison the whole pool
+       ([Pool.Worker_failed] abandons the remaining queue); convert it to
+       this row's error so one bad build fails one row. *)
+    let r =
+      try Measure.run_benchmark ?levels build b with
+      | Minic.Driver.Error m -> Error (Printf.sprintf "compile: %s" m)
+      | Failure m -> Error m
+      | e -> Error (Printexc.to_string e)
+    in
     Mutex.protect lock (fun () -> progress.on_done b build r);
     (b, build, r)
   in

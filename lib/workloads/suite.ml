@@ -37,12 +37,16 @@ let compile_cached build b =
     Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
   in
   match cached with
-  | Some w -> w
+  | Some w -> Ok w
   | None -> (
       match resolve build b with
       | Ok w ->
           Mutex.protect cache_lock (fun () -> Hashtbl.replace cache key w);
-          w
+          Ok w
       | Error m ->
-          failwith (Printf.sprintf "suite: %s (%s): %s" b.Programs.name
-                      (build_name build) m))
+          (* No [failwith] here: this runs inside Domain-pool workers,
+             where an escaped exception would take the whole suite down
+             instead of failing one row. *)
+          Error
+            (Printf.sprintf "suite: %s (%s): %s" b.Programs.name
+               (build_name build) m))

@@ -22,7 +22,10 @@ val resolve :
   build -> Programs.benchmark -> (Linker.Resolve.t, string) result
 (** Compile and resolve against [libstd]. *)
 
-val compile_cached : build -> Programs.benchmark -> Linker.Resolve.t
-(** Like {!resolve} but memoized per (build, benchmark) and raising
-    [Failure] on error — the measurement harness calls this repeatedly.
-    Safe to call from multiple domains concurrently. *)
+val compile_cached :
+  build -> Programs.benchmark -> (Linker.Resolve.t, string) result
+(** Like {!resolve} but memoized per (build, benchmark) — the measurement
+    harness calls this repeatedly. Errors come back as [Error] rather
+    than an exception so a bad build inside a Domain-pool worker fails
+    its own row instead of killing the domain. Safe to call from
+    multiple domains concurrently. *)

@@ -62,7 +62,11 @@ let test_fast_path_matches_reference () =
             Printf.sprintf "%s/%s/%s" b.Workloads.Programs.name
               (Workloads.Suite.build_name build) level
           in
-          let world = Workloads.Suite.compile_cached build b in
+          let world =
+            match Workloads.Suite.compile_cached build b with
+            | Ok w -> w
+            | Error m -> Alcotest.failf "%s: %s" (what "compile") m
+          in
           (match Linker.Link.link_resolved world with
           | Ok std -> check_image (what "std") std
           | Error m -> Alcotest.failf "%s: link: %s" (what "std") m);

@@ -1,0 +1,311 @@
+(* The differential fuzzer itself: generation determinism, oracle
+   soundness on a sample of seeds, the shrinking machinery on a known-bad
+   program, and regression pins for generator bugs the fuzzer surfaced
+   while it was being built. *)
+
+module P = Fuzz.Prog
+
+(* --- determinism --- *)
+
+let test_generation_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Fuzz.Prog.render (Fuzz.Gen.program seed) in
+      let b = Fuzz.Prog.render (Fuzz.Gen.program seed) in
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "seed %d renders identically twice" seed)
+        a b)
+    [ 0; 1; 42; 1234567; max_int / 3 ]
+
+let test_case_seeds_distinct () =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun seed ->
+      for index = 0 to 9 do
+        let cs = Fuzz.case_seed ~seed ~index in
+        (match Hashtbl.find_opt seen cs with
+        | Some (s, i) ->
+            Alcotest.failf "case seed collision: (%d,%d) and (%d,%d)" seed
+              index s i
+        | None -> ());
+        Hashtbl.replace seen cs (seed, index)
+      done)
+    [ 1; 2; 3; 42; 43 ]
+
+let test_campaign_jobs_invariant () =
+  (* same report whatever the domain count — the acceptance criterion
+     behind `omlink fuzz -j` *)
+  let run jobs = Fuzz.campaign ~jobs ~out_dir:None ~seed:42 ~count:6 () in
+  let a = run 1 and b = run 2 in
+  Alcotest.(check int) "same seed" a.Fuzz.seed b.Fuzz.seed;
+  Alcotest.(check int) "same count" a.Fuzz.count b.Fuzz.count;
+  Alcotest.(check int) "same failures"
+    (List.length a.Fuzz.failed)
+    (List.length b.Fuzz.failed)
+
+(* --- the oracles on known-good generated programs --- *)
+
+let test_sample_cases_pass () =
+  for index = 0 to 3 do
+    let cs = Fuzz.case_seed ~seed:1 ~index in
+    match Fuzz.run_case cs with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "case seed %d: %a" cs Fuzz.Oracle.pp_failure f
+  done
+
+(* --- shrinking on a known-bad program ---
+
+   Printing a procedure variable leaks a code address into observable
+   output, which legitimately differs across link levels (OM-full deletes
+   instructions, so entry points move). The generator never produces such
+   a program — which makes it the perfect planted bug: the behavioral
+   oracle must catch it, and the shrinker must reduce it without ever
+   escaping into a program that fails for a different reason. *)
+
+let address_printing_prog : P.t =
+  {
+    P.modules =
+      [ { P.mname = "m0";
+          globals =
+            [ P.Gscalar
+                { name = "pv0"; static = false; init = 0L; is_pv = true };
+              P.Gscalar
+                { name = "g0"; static = false; init = 7L; is_pv = false } ];
+          funcs =
+            [ { P.fname = "f0";
+                fstatic = false;
+                params = [ P.Pscalar "p0" ];
+                body =
+                  [ P.Assign ("g0", P.Bin (P.Add, P.Var "g0", P.Var "p0"));
+                    P.Ret (P.Var "g0") ] };
+              (* f1 lays out after f0; optimizing f0's call bookkeeping
+                 at OM-full shifts f1's entry, so the printed address
+                 diverges between link levels *)
+              { P.fname = "f1";
+                fstatic = false;
+                params = [ P.Pscalar "p0" ];
+                body =
+                  [ P.Assign
+                      ( "g0",
+                        P.Bin
+                          ( P.Add,
+                            P.Var "g0",
+                            P.Call ("f0", [ P.Aexpr (P.Var "p0") ]) ) );
+                    P.Ret (P.Var "g0") ] };
+              { P.fname = "main";
+                fstatic = false;
+                params = [];
+                body =
+                  [ P.TakeAddr ("pv0", "f1");
+                    P.Let ("x", P.Call ("f1", [ P.Aexpr (P.Int 3L) ]));
+                    P.Print (P.Var "x");
+                    (* the planted bug: an address reaches output *)
+                    P.Print (P.Var "pv0");
+                    P.Ret (P.Int 0L) ] } ] } ]
+  }
+
+let test_known_bad_fails_behaviorally () =
+  match Fuzz.Oracle.check address_printing_prog with
+  | Ok () -> Alcotest.fail "address-printing program passed the oracles"
+  | Error f ->
+      Alcotest.(check bool)
+        (Format.asprintf "failure (%a) is not compile-stage" Fuzz.Oracle.pp_failure f)
+        false
+        (Fuzz.Oracle.generated_failure f)
+
+let test_shrink_known_bad () =
+  match Fuzz.Oracle.check address_printing_prog with
+  | Ok () -> Alcotest.fail "address-printing program passed the oracles"
+  | Error f ->
+      let shrunk, f' = Fuzz.shrink ~max_checks:200 address_printing_prog f in
+      Alcotest.(check bool)
+        "shrunk program is no larger" true
+        (P.size shrunk <= P.size address_printing_prog);
+      Alcotest.(check bool)
+        "shrunk failure still indicts the pipeline stage class" false
+        (Fuzz.Oracle.generated_failure f');
+      (* the minimal reproducer must keep the essence: a pv printed *)
+      let rendered = String.concat "\n" (List.map snd (P.render shrunk)) in
+      Alcotest.(check bool)
+        "reproducer still prints the procedure variable" true
+        (Astring.String.is_infix ~affix:"io_putint_nl(pv0)" rendered)
+
+let test_write_reproducer () =
+  match Fuzz.Oracle.check address_printing_prog with
+  | Ok () -> Alcotest.fail "address-printing program passed the oracles"
+  | Error f ->
+      let shrunk, f' = Fuzz.shrink ~max_checks:60 address_printing_prog f in
+      let out_dir = "_fuzz_test_out" in
+      let r =
+        { Fuzz.r_index = 0;
+          r_case_seed = 12345;
+          r_failure = f;
+          r_prog = address_printing_prog;
+          r_shrunk = shrunk;
+          r_shrunk_failure = f';
+          r_dir = None }
+      in
+      let dir = Fuzz.write_reproducer ~out_dir ~seed:99 r in
+      let readme = Filename.concat dir "README.md" in
+      Alcotest.(check bool) "README written" true (Sys.file_exists readme);
+      Alcotest.(check bool) "original sources written" true
+        (Sys.file_exists (Filename.concat (Filename.concat dir "original") "m0.mc"));
+      Alcotest.(check bool) "shrunk sources written" true
+        (Sys.file_exists (Filename.concat (Filename.concat dir "shrunk") "m0.mc"));
+      (* leave the sandbox clean *)
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm out_dir
+
+(* --- regression pins from fuzzer-found generator bugs ---
+
+   Campaign seed 1 initially failed 7 of its first 20 cases: negative
+   global initializers rendered as [(0 - n)], which the [var x = int;]
+   grammar rejects (and the resulting parse recovery cascaded into
+   "undefined name" noise). Literals now render as two's-complement hex,
+   which the lexer accepts over the full 64-bit range. These programs pin
+   both the renderer and the originally-failing campaign cases. *)
+
+let test_negative_initializers_roundtrip () =
+  let prog : P.t =
+    { P.modules =
+        [ { P.mname = "m0";
+            globals =
+              [ P.Gscalar
+                  { name = "g0"; static = false; init = -255L; is_pv = false };
+                P.Gscalar
+                  { name = "g1";
+                    static = false;
+                    init = Int64.min_int;
+                    is_pv = false };
+                P.Gscalar
+                  { name = "g2";
+                    static = true;
+                    init = -2654435761L;
+                    is_pv = false } ];
+            funcs =
+              [ { P.fname = "main";
+                  fstatic = false;
+                  params = [];
+                  body =
+                    [ P.Print (P.Var "g0");
+                      P.Print (P.Var "g1");
+                      P.Print (P.Var "g2");
+                      P.Print (P.Int Int64.min_int);
+                      P.Print (P.Int (-1L));
+                      P.Ret (P.Int 0L) ] } ] } ]
+    }
+  in
+  match Fuzz.Oracle.check prog with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "negative initializers: %a" Fuzz.Oracle.pp_failure f
+
+let test_originally_failing_seed1_cases () =
+  (* the first two compile-stage failures of the seed-1 campaign, by
+     their derived case seeds, re-run through all oracles *)
+  List.iter
+    (fun index ->
+      let cs = Fuzz.case_seed ~seed:1 ~index in
+      match Fuzz.run_case cs with
+      | Ok () -> ()
+      | Error f ->
+          Alcotest.failf "seed 1 case %d (seed %d): %a" index cs
+            Fuzz.Oracle.pp_failure f)
+    [ 1; 5 ]
+
+(* --- the fuzzer's first real pipeline catch ---
+
+   Campaign seed 6, case 151 (case seed 4508420191568866293) crashed the
+   compiler outright: Invalid_argument("Insn.split32: 2147483647 out of
+   range"). [emit_li] guarded the ldah/lda immediate pair with the full
+   signed 32-bit span, but the pair only reaches hi*65536 + lo with both
+   halves signed 16-bit — top 0x7fff7fff — so the folded constant
+   0xffffffff >> 1 = 0x7fffffff slipped past the guard and blew up in
+   the encoder. The source below is the campaign's own shrunk reproducer
+   (158 → 7 AST nodes), committed verbatim. *)
+
+let test_split32_shrunk_reproducer () =
+  let src =
+    {|
+var g0 = 1000000;
+func f3(p0) {
+  g0 = (4294967295 >> (1 & 63));
+  return 0;
+}
+func main() {
+  return 0;
+}
+|}
+  in
+  match Fuzz.Oracle.check_sources [ ("m0", src) ] with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "split32 reproducer: %a" Fuzz.Oracle.pp_failure f
+
+let test_pair_corner_constants () =
+  (* every corner of the ldah/lda-representable span and just beyond it,
+     both as materialized immediates and as global initializers *)
+  let corners =
+    [ 0x7fff7fffL; 0x7fff8000L; 0x7fffffffL; 0x80000000L;
+      -2147483648L; -2147516416L; -2147516417L ]
+  in
+  let prog : P.t =
+    { P.modules =
+        [ { P.mname = "m0";
+            globals =
+              List.mapi
+                (fun k c ->
+                  P.Gscalar
+                    { name = Printf.sprintf "c%d" k;
+                      static = false;
+                      init = c;
+                      is_pv = false })
+                corners;
+            funcs =
+              [ { P.fname = "main";
+                  fstatic = false;
+                  params = [];
+                  body =
+                    List.map (fun c -> P.Print (P.Int c)) corners
+                    @ List.mapi
+                        (fun k _ ->
+                          P.Print (P.Var (Printf.sprintf "c%d" k)))
+                        corners
+                    @ [ P.Ret (P.Int 0L) ] } ] } ]
+    }
+  in
+  match Fuzz.Oracle.check prog with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "corner constants: %a" Fuzz.Oracle.pp_failure f
+
+let suite =
+  ( "fuzz",
+    [ Alcotest.test_case "generation is deterministic" `Quick
+        test_generation_deterministic;
+      Alcotest.test_case "derived case seeds distinct" `Quick
+        test_case_seeds_distinct;
+      Alcotest.test_case "campaign invariant under -j" `Slow
+        test_campaign_jobs_invariant;
+      Alcotest.test_case "sampled cases pass all oracles" `Slow
+        test_sample_cases_pass;
+      Alcotest.test_case "known-bad program fails behaviorally" `Quick
+        test_known_bad_fails_behaviorally;
+      Alcotest.test_case "shrinker minimizes the known-bad program" `Slow
+        test_shrink_known_bad;
+      Alcotest.test_case "reproducer directory round-trips" `Slow
+        test_write_reproducer;
+      Alcotest.test_case "negative global initializers" `Quick
+        test_negative_initializers_roundtrip;
+      Alcotest.test_case "originally-failing seed-1 cases" `Slow
+        test_originally_failing_seed1_cases;
+      Alcotest.test_case "split32 shrunk reproducer (seed 6, case 151)" `Quick
+        test_split32_shrunk_reproducer;
+      Alcotest.test_case "ldah/lda corner constants" `Quick
+        test_pair_corner_constants ] )

@@ -105,7 +105,11 @@ let test_all_benchmarks_compile () =
     Workloads.Programs.all
 
 let test_timing_harness () =
-  let t = Reports.Measure.time_builds (get "li") in
+  let t =
+    match Reports.Measure.time_builds (get "li") with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "time_builds: %s" m
+  in
   Alcotest.(check bool) "timings positive" true
     (t.Reports.Measure.t_std_link >= 0. && t.Reports.Measure.t_full >= 0.);
   (* the interprocedural rebuild includes compilation, so it costs more
@@ -141,7 +145,11 @@ let suite =
 let test_suite_deterministic () =
   let b = get "compress" in
   let run () =
-    let w = Workloads.Suite.compile_cached Workloads.Suite.Compile_each b in
+    let w =
+      match Workloads.Suite.compile_cached Workloads.Suite.Compile_each b with
+      | Ok w -> w
+      | Error m -> Alcotest.fail m
+    in
     let img = Result.get_ok (Linker.Link.link_resolved w) in
     match Machine.Cpu.run img with
     | Ok o -> (o.Machine.Cpu.output, o.Machine.Cpu.stats.Machine.Cpu.cycles)
@@ -155,7 +163,11 @@ let test_suite_budget () =
   (* keep the harness usable: no benchmark may exceed 40M instructions *)
   List.iter
     (fun (b : Workloads.Programs.benchmark) ->
-      let w = Workloads.Suite.compile_cached Workloads.Suite.Compile_each b in
+      let w =
+        match Workloads.Suite.compile_cached Workloads.Suite.Compile_each b with
+        | Ok w -> w
+        | Error m -> Alcotest.fail m
+      in
       let img = Result.get_ok (Linker.Link.link_resolved w) in
       match Machine.Cpu.run img with
       | Ok o ->

@@ -393,6 +393,141 @@ let test_verify_catches_corruption () =
       Alcotest.(check bool) "verifier flags the corruption" true
         (Result.is_error (Om.Verify.check corrupted))
 
+(* the remaining corruption tests share one patched-image helper *)
+let patch_insn (image : Linker.Image.t) k insn =
+  let text = Bytes.copy image.Linker.Image.text in
+  Bytes.set_int32_le text (4 * k) (Int32.of_int (Isa.Encode.insn insn));
+  { image with Linker.Image.text }
+
+let str_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let expect_issue what substr image =
+  match Om.Verify.check image with
+  | Ok () -> Alcotest.failf "%s: verifier passed the corrupted image" what
+  | Error m ->
+      if not (str_contains m substr) then
+        Alcotest.failf "%s: flagged, but not for the planted reason: %s" what m
+
+let corruption_src = {|
+var acc = 0;
+func helper(x) {
+  var i = 0;
+  while (i < 8) { acc = acc + x * i; i = i + 1; }
+  return acc;
+}
+func main() { io_putint(helper(7)); return 0; }
+|}
+
+(* retarget a call so it lands inside helper's body, past the entry and
+   its GP-setup pair — the "branch into mid-procedure" class *)
+let test_verify_catches_branch_into_body () =
+  let world = world_of corruption_src in
+  let { Om.image; _ } = om_level Om.Full world in
+  let insns = Linker.Image.insns image in
+  let helper =
+    match Linker.Image.find_proc image "helper" with
+    | Some q -> q
+    | None -> Alcotest.fail "no helper procedure in image"
+  in
+  (* first non-nop strictly past the legitimate entry points; branching
+     just after it cannot be excused as nop-skipping *)
+  let target =
+    let rec find a =
+      if a + 4 >= helper.Linker.Image.entry + helper.Linker.Image.size then
+        Alcotest.fail "helper too small to corrupt"
+      else if I.is_nop insns.((a - image.Linker.Image.text_base) / 4) then
+        find (a + 4)
+      else a + 4
+    in
+    find (helper.Linker.Image.entry + 8)
+  in
+  let victim = ref None in
+  Array.iteri
+    (fun k i ->
+      let addr = image.Linker.Image.text_base + (4 * k) in
+      let in_helper =
+        match Linker.Image.proc_containing image addr with
+        | Some p -> String.equal p.Linker.Image.name "helper"
+        | None -> false
+      in
+      if !victim = None && not in_helper then
+        let disp = (target - addr - 4) / 4 in
+        match i with
+        | I.Bsr { ra; _ } when disp >= -1048576 && disp < 1048576 ->
+            victim := Some (k, I.Bsr { ra; disp })
+        | _ -> ())
+    insns;
+  match !victim with
+  | None -> Alcotest.fail "no bsr outside helper to corrupt"
+  | Some (k, bad) ->
+      expect_issue "branch into body" "branch into the middle of helper"
+        (patch_insn image k bad)
+
+(* bend a GP-relative load's displacement until its effective address
+   leaves the data region *)
+let test_verify_catches_gp_load_outside_data () =
+  let world = world_of corruption_src in
+  let image = Result.get_ok (Linker.Link.link_resolved world) in
+  let insns = Linker.Image.insns image in
+  let data_end =
+    image.Linker.Image.data_base + Bytes.length image.Linker.Image.data
+  in
+  let victim = ref None in
+  Array.iteri
+    (fun k i ->
+      let addr = image.Linker.Image.text_base + (4 * k) in
+      if !victim = None then
+        match (i, Linker.Image.proc_containing image addr) with
+        | I.Ldq { ra; rb; _ }, Some p when R.equal rb R.gp ->
+            let gp = p.Linker.Image.gp_value in
+            let candidates =
+              [ data_end - gp + 8; image.Linker.Image.data_base - gp - 16 ]
+            in
+            List.iter
+              (fun disp ->
+                if !victim = None && disp >= -32768 && disp <= 32767 then
+                  victim := Some (k, I.Ldq { ra; rb; disp }))
+              candidates
+        | _ -> ())
+    insns;
+  match !victim with
+  | None -> Alcotest.fail "no patchable gp-relative ldq found"
+  | Some (k, bad) ->
+      expect_issue "gp load" "outside data" (patch_insn image k bad)
+
+(* skew the low half of a prologue's GPDISP pair: the recomputed GP no
+   longer matches the procedure descriptor *)
+let test_verify_catches_broken_gpdisp () =
+  let world = world_of corruption_src in
+  let image = Result.get_ok (Linker.Link.link_resolved world) in
+  let insns = Linker.Image.insns image in
+  let victim = ref None in
+  Array.iteri
+    (fun k i ->
+      if !victim = None then
+        match i with
+        | I.Ldah { ra; rb; _ } when R.equal ra R.gp && R.equal rb R.pv ->
+            let rec find_lo j =
+              if j >= Array.length insns || j > k + 8 then ()
+              else
+                match insns.(j) with
+                | I.Lda { ra; rb; disp }
+                  when R.equal ra R.gp && R.equal rb R.gp ->
+                    let disp = if disp < 32000 then disp + 8 else disp - 8 in
+                    victim := Some (j, I.Lda { ra; rb; disp })
+                | _ -> find_lo (j + 1)
+            in
+            find_lo (k + 1)
+        | _ -> ())
+    insns;
+  match !victim with
+  | None -> Alcotest.fail "no GPDISP pair found to corrupt"
+  | Some (j, bad) ->
+      expect_issue "gpdisp" "GP setup computes" (patch_insn image j bad)
+
 let suite =
   let name, cases = suite in
   ( name,
@@ -400,7 +535,13 @@ let suite =
     @ [ Alcotest.test_case "verifier passes all levels" `Quick
           test_verify_all_levels;
         Alcotest.test_case "verifier catches corruption" `Quick
-          test_verify_catches_corruption ] )
+          test_verify_catches_corruption;
+        Alcotest.test_case "verifier catches branch into a body" `Quick
+          test_verify_catches_branch_into_body;
+        Alcotest.test_case "verifier catches gp load outside data" `Quick
+          test_verify_catches_gp_load_outside_data;
+        Alcotest.test_case "verifier catches a broken GPDISP pair" `Quick
+          test_verify_catches_broken_gpdisp ] )
 
 (* --- ablation variants preserve behavior --- *)
 
