@@ -11,6 +11,7 @@
      bench/main.exe relink     cold vs warm link-service relink times
      bench/main.exe quick      figures from a 5-benchmark subset
      bench/main.exe check-report   validate BENCH_report.json parses
+     bench/main.exe compare OLD NEW   perf-regression gate between reports
 
    A trailing "-j N" caps the measurement pool at N domains (default:
    the host's recommended count; OMLT_JOBS also overrides). Parallel
@@ -318,7 +319,8 @@ let write_report quick =
     (List.length report.Obs.Report.results)
 
 (* smoke check: does the written report parse back through the schema
-   reader? (CI runs this after "quick".) *)
+   reader, and does it carry the v4 payload? (CI runs this after
+   "quick".) *)
 let check_report () =
   match Obs.Report.read report_path with
   | Ok r ->
@@ -331,14 +333,87 @@ let check_report () =
                  b.Obs.Report.runs)
           r.Obs.Report.results
       in
-      Printf.printf "%s: OK (schema v%d, %d results, host throughput %s)\n"
+      let quantiled =
+        match r.Obs.Report.latency with
+        | Some q -> q.Obs.Report.q_count > 0
+        | None -> false
+      in
+      let has_metrics = r.Obs.Report.metrics <> None in
+      Printf.printf
+        "%s: OK (schema v%d, %d results, host throughput %s, latency \
+         quantiles %s, metrics snapshot %s)\n"
         report_path r.Obs.Report.version
         (List.length r.Obs.Report.results)
-        (if hosted then "present" else "MISSING");
-      if not hosted then exit 1
+        (if hosted then "present" else "MISSING")
+        (if quantiled then "present" else "MISSING")
+        (if has_metrics then "present" else "MISSING");
+      if r.Obs.Report.version < 4 then begin
+        Printf.eprintf "%s: expected schema v4, found v%d\n" report_path
+          r.Obs.Report.version;
+        exit 1
+      end;
+      if not (hosted && quantiled && has_metrics) then exit 1
   | Error m ->
       Printf.eprintf "%s: FAILED to parse: %s\n" report_path m;
       exit 1
+
+(* --- compare: the perf-regression gate ---
+
+   compare OLD.json NEW.json fails (exit 1) when NEW regresses past the
+   thresholds: simulated cycles and om improvement gate by default;
+   host-dependent MIPS/relink timings gate only when their flags are
+   given. *)
+
+let compare_usage () =
+  Printf.eprintf
+    "usage: bench compare OLD.json NEW.json [--max-cycle-pct X]\n\
+    \        [--max-improvement-pts X] [--max-mips-pct X] [--max-relink-pct X]\n";
+  exit 2
+
+let compare_reports args =
+  let rec parse (t : Obs.Compare.thresholds) = function
+    | [] -> t
+    | "--max-cycle-pct" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x -> parse { t with Obs.Compare.max_cycle_regress_pct = x } rest
+        | None -> compare_usage ())
+    | "--max-improvement-pts" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x ->
+            parse { t with Obs.Compare.max_improvement_drop_pts = x } rest
+        | None -> compare_usage ())
+    | "--max-mips-pct" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x -> parse { t with Obs.Compare.max_mips_drop_pct = Some x } rest
+        | None -> compare_usage ())
+    | "--max-relink-pct" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x ->
+            parse { t with Obs.Compare.max_relink_regress_pct = Some x } rest
+        | None -> compare_usage ())
+    | _ -> compare_usage ()
+  in
+  match args with
+  | old_path :: new_path :: rest -> (
+      let thresholds = parse Obs.Compare.default_thresholds rest in
+      let read path =
+        match Obs.Report.read path with
+        | Ok r -> r
+        | Error m ->
+            Printf.eprintf "%s: %s\n" path m;
+            exit 2
+      in
+      let old_r = read old_path and new_r = read new_path in
+      let outcome = Obs.Compare.compare ~thresholds ~old_r ~new_r () in
+      Format.printf "%a@." Obs.Compare.pp_outcome outcome;
+      if Obs.Compare.ok outcome then
+        Printf.printf "PASS: no threshold-exceeding regressions\n"
+      else begin
+        Printf.printf "FAIL: %d regression(s) past thresholds\n"
+          (List.length outcome.Obs.Compare.regressions);
+        exit 1
+      end)
+  | _ -> compare_usage ()
 
 (* --- driver --- *)
 
@@ -388,8 +463,10 @@ let parse_args () =
   go [] (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let cmd = match parse_args () with [] -> "all" | c :: _ -> c in
+  let args = parse_args () in
+  let cmd = match args with [] -> "all" | c :: _ -> c in
   match cmd with
+  | "compare" -> compare_reports (List.tl args)
   | "micro" -> micro ()
   | "fuzz" -> fuzz_throughput ()
   | "ablation" -> ablation ()
@@ -409,6 +486,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, \
-         fuzz, ablation, relink, check-report, all)\n"
+         fuzz, ablation, relink, check-report, compare, all)\n"
         other;
       exit 2

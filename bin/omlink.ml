@@ -638,7 +638,22 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No startup/shutdown chatter.")
   in
-  let run socket deadline store_dir quiet () =
+  let log_level =
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Structured-log threshold: debug, info, warn, error, or \
+                   off. Overrides \\$OMLT_LOG. Default when serving: info \
+                   (or off with $(b,--quiet)).")
+  in
+  let run socket deadline store_dir quiet log_level () =
+    (* daemon diagnostics are JSON-lines on stderr via Obs.Log; the old
+       ad-hoc eprintf chatter is gone *)
+    (match log_level with
+    | Some s -> Obs.Log.set_level (Obs.Log.level_of_string s)
+    | None ->
+        if quiet then Obs.Log.set_level None
+        else if Sys.getenv_opt "OMLT_LOG" = None then
+          Obs.Log.set_level (Some Obs.Log.Info));
     let store =
       match store_dir with
       | None -> Store.create ()
@@ -646,15 +661,56 @@ let serve_cmd =
       | Some d -> Store.create ~dir:(Some d) ()
     in
     let engine = Server.Engine.create ~store () in
-    let log = if quiet then ignore else fun m -> Printf.eprintf "%s\n%!" m in
-    Server.Daemon.serve ~engine ?socket ?default_deadline_ms:deadline ~log ()
+    Server.Daemon.serve ~engine ?socket ?default_deadline_ms:deadline ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run omlinkd, the persistent link service: an artifact store plus \
           incremental relinking behind a Unix-domain socket.")
-    (reporting Term.(const run $ socket_arg $ deadline $ store_dir $ quiet))
+    (reporting
+       Term.(const run $ socket_arg $ deadline $ store_dir $ quiet $ log_level))
+
+(* --- metrics: in-process registry dump --- *)
+
+let metrics_cmd =
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Print the Prometheus text exposition instead of JSON.")
+  in
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ] ~docv:"NAME"
+             ~doc:"First measure $(docv) in-process so the registry holds \
+                   pool/simulator/engine samples to dump.")
+  in
+  let run bench prometheus () =
+    let* () =
+      match bench with
+      | None -> Ok ()
+      | Some n -> (
+          match Workloads.Programs.find n with
+          | None ->
+              Error
+                (Printf.sprintf "unknown benchmark %s (know: %s)" n
+                   (String.concat ", " Workloads.Programs.names))
+          | Some b ->
+              ignore (Reports.Runner.matrix [ b ]);
+              Ok ())
+    in
+    let reg = Obs.Metrics.default in
+    if prometheus then print_string (Obs.Metrics.to_prometheus reg)
+    else print_endline (Obs.Json.to_string (Obs.Metrics.to_json reg));
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump this process's metrics registry (use $(b,--bench) to populate \
+          it first; for a running daemon's registry see $(b,omlink client \
+          metrics)).")
+    (reporting Term.(const run $ bench $ prometheus))
 
 (* --- client: talk to a running omlinkd --- *)
 
@@ -759,17 +815,57 @@ let client_link_cmd =
              $ out $ trace))
 
 let client_stats_cmd =
-  let run socket () =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the raw JSON reply instead of a table.")
+  in
+  let run socket json () =
     with_daemon socket @@ fun fd ->
     match Server.Client.stats fd with
     | Error e -> Error (err_string e)
     | Ok fields ->
-        print_endline (Obs.Json.to_string (Obs.Json.Obj fields));
-        Ok ()
+        if json then begin
+          print_endline (Obs.Json.to_string (Obs.Json.Obj fields));
+          Ok ()
+        end
+        else begin
+          let get name conv =
+            Option.bind (Server.Client.field name fields) conv
+          in
+          Printf.printf "uptime   %.1f s\nrequests %d\n"
+            (Option.value ~default:0. (get "uptime_s" Obs.Json.get_float))
+            (Option.value ~default:0 (get "requests" Obs.Json.get_int));
+          (match Server.Client.field "store" fields with
+          | Some store ->
+              let m name conv = Option.bind (Obs.Json.member name store) conv in
+              Printf.printf "store    %s (%d entries, %d bytes in memory)\n"
+                (Option.value ~default:"memory" (m "dir" Obs.Json.get_string))
+                (Option.value ~default:0 (m "mem_entries" Obs.Json.get_int))
+                (Option.value ~default:0 (m "mem_bytes" Obs.Json.get_int));
+              List.iter
+                (fun kind ->
+                  match Obs.Json.member kind store with
+                  | Some (Obs.Json.Obj kv) ->
+                      Printf.printf "  %-8s" kind;
+                      List.iter
+                        (fun (k, v) ->
+                          match Obs.Json.get_int v with
+                          | Some n -> Printf.printf " %s=%d" k n
+                          | None -> ())
+                        kv;
+                      print_newline ()
+                  | _ -> ())
+                [ "cunit"; "lifted"; "image"; "total" ]
+          | None -> ());
+          Ok ()
+        end
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Print daemon uptime and artifact-store counters.")
-    (reporting Term.(const run $ socket_arg))
+    (Cmd.info "stats"
+       ~doc:
+         "Print daemon uptime and artifact-store counters (hit/miss/eviction \
+          per artifact kind); $(b,--json) for the raw reply.")
+    (reporting Term.(const run $ socket_arg $ json))
 
 let client_suite_cmd =
   let bench =
@@ -812,6 +908,38 @@ let client_suite_cmd =
     (reporting
        Term.(const run $ socket_arg $ deadline_arg $ bench $ jobs $ out))
 
+let client_metrics_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the JSON registry snapshot instead of the \
+                   Prometheus text exposition.")
+  in
+  let run socket json () =
+    with_daemon socket @@ fun fd ->
+    match Server.Client.metrics fd with
+    | Error e -> Error (err_string e)
+    | Ok fields ->
+        if json then
+          match Server.Client.field "metrics" fields with
+          | Some m -> print_endline (Obs.Json.to_string m); Ok ()
+          | None -> Error "metrics reply carries no metrics field"
+        else (
+          match
+            Option.bind
+              (Server.Client.field "prometheus" fields)
+              Obs.Json.get_string
+          with
+          | Some text -> print_string text; Ok ()
+          | None -> Error "metrics reply carries no prometheus field")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Fetch the daemon's live metrics registry: per-request-type latency \
+          histograms with p50/p95/p99, cache counters, in-flight gauge.")
+    (reporting Term.(const run $ socket_arg $ json))
+
 let client_shutdown_cmd =
   let run socket () =
     with_daemon socket @@ fun fd ->
@@ -826,8 +954,8 @@ let client_shutdown_cmd =
 let client_cmd =
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running omlinkd (see $(b,omlink serve)).")
-    [ client_ping_cmd; client_link_cmd; client_stats_cmd; client_suite_cmd;
-      client_shutdown_cmd ]
+    [ client_ping_cmd; client_link_cmd; client_stats_cmd; client_metrics_cmd;
+      client_suite_cmd; client_shutdown_cmd ]
 
 let main =
   Cmd.group
@@ -836,6 +964,6 @@ let main =
          "Link-time optimization of address calculation on a 64-bit \
           architecture (Srivastava & Wall, PLDI 1994), reproduced.")
     [ compile_cmd; dis_cmd; run_cmd; image_cmd; stats_cmd; profile_cmd;
-      suite_cmd; fuzz_cmd; serve_cmd; client_cmd ]
+      suite_cmd; fuzz_cmd; metrics_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

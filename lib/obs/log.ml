@@ -1,0 +1,68 @@
+(* Leveled structured logger: one minified JSON object per line on
+   stderr. Disabled unless OMLT_LOG or set_level says otherwise, so
+   library code can log unconditionally without polluting CLI output. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | "off" | "none" | "" -> None
+  | _ -> None
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* None = logging off. Initialized lazily from OMLT_LOG; set_level
+   overrides. *)
+let current : level option option ref = ref None
+let lock = Mutex.create ()
+
+let init_from_env () =
+  match Sys.getenv_opt "OMLT_LOG" with
+  | None -> None
+  | Some s -> level_of_string s
+
+let threshold () =
+  Mutex.protect lock @@ fun () ->
+  match !current with
+  | Some t -> t
+  | None ->
+      let t = init_from_env () in
+      current := Some t;
+      t
+
+let set_level l = Mutex.protect lock @@ fun () -> current := Some l
+
+let enabled l =
+  match threshold () with None -> false | Some t -> rank l >= rank t
+
+let emit l event fields =
+  let ts = Unix.gettimeofday () in
+  let line =
+    Json.to_string ~minify:true
+      (Json.Obj
+         (( "ts", Json.Float ts )
+         :: ( "level", Json.String (level_to_string l) )
+         :: ( "event", Json.String event )
+         :: fields))
+  in
+  (* a single write keeps lines whole across domains *)
+  Mutex.protect lock @@ fun () ->
+  output_string stderr (line ^ "\n");
+  flush stderr
+
+let log l ?(fields = []) event = if enabled l then emit l event fields
+
+let debug ?fields event = log Debug ?fields event
+let info ?fields event = log Info ?fields event
+let warn ?fields event = log Warn ?fields event
+let error ?fields event = log Error ?fields event

@@ -1,10 +1,12 @@
 (* v1: the original schema. v2 adds the optional host-throughput fields
    ([host] on each run, [std_host] on each bench); v3 adds the optional
-   [relink] field on each bench (cold vs warm link-service timings). The
-   reader accepts all three versions, mapping absent fields to [None]. *)
-let schema_version = 3
+   [relink] field on each bench (cold vs warm link-service timings); v4
+   adds the optional top-level [latency] quantiles and a [metrics]
+   registry snapshot. The reader accepts every version, mapping absent
+   fields to [None]. *)
+let schema_version = 4
 
-let accepted_versions = [ 1; 2; 3 ]
+let accepted_versions = [ 1; 2; 3; 4 ]
 
 type bucket = { insns : int; cycles : int }
 type attribution = (string * bucket) list
@@ -37,13 +39,24 @@ type bench = {
   relink : relink option;
 }
 
+type quantiles = {
+  q_count : int;
+  q_p50_us : int;
+  q_p95_us : int;
+  q_p99_us : int;
+  q_max_us : int;
+}
+
 type t = {
   version : int;
   tool : string;
   results : bench list;
+  latency : quantiles option;
+  metrics : Json.t option;
 }
 
-let make ?(tool = "omlt") results = { version = schema_version; tool; results }
+let make ?(tool = "omlt") ?latency ?metrics results =
+  { version = schema_version; tool; results; latency; metrics }
 
 let attribution_of_profile (p : Attr.t) =
   List.map
@@ -104,11 +117,23 @@ let bench_json b =
       ("std_host", host_json b.std_host);
       ("relink", relink_json b.relink) ]
 
+let quantiles_json = function
+  | None -> Json.Null
+  | Some q ->
+      Json.Obj
+        [ ("count", Json.Int q.q_count);
+          ("p50_us", Json.Int q.q_p50_us);
+          ("p95_us", Json.Int q.q_p95_us);
+          ("p99_us", Json.Int q.q_p99_us);
+          ("max_us", Json.Int q.q_max_us) ]
+
 let to_json t =
   Json.Obj
     [ ("schema_version", Json.Int t.version);
       ("tool", Json.String t.tool);
-      ("results", Json.List (List.map bench_json t.results)) ]
+      ("results", Json.List (List.map bench_json t.results));
+      ("latency", quantiles_json t.latency);
+      ("metrics", (match t.metrics with None -> Json.Null | Some m -> m)) ]
 
 (* --- from json --- *)
 
@@ -222,6 +247,18 @@ let bench_of_json j =
       std_host;
       relink }
 
+(* Absent before v4, so a missing field is [None], not an error. *)
+let quantiles_of_json j =
+  match Json.member "latency" j with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+      let* q_count = field "count" Json.get_int v in
+      let* q_p50_us = field "p50_us" Json.get_int v in
+      let* q_p95_us = field "p95_us" Json.get_int v in
+      let* q_p99_us = field "p99_us" Json.get_int v in
+      let* q_max_us = field "max_us" Json.get_int v in
+      Ok (Some { q_count; q_p50_us; q_p95_us; q_p99_us; q_max_us })
+
 let of_json j =
   let* version = field "schema_version" Json.get_int j in
   if not (List.mem version accepted_versions) then
@@ -239,7 +276,13 @@ let of_json j =
           Ok (b :: acc))
         (Ok []) result_list
     in
-    Ok { version; tool; results = List.rev results }
+    let* latency = quantiles_of_json j in
+    let metrics =
+      match Json.member "metrics" j with
+      | None | Some Json.Null -> None
+      | Some m -> Some m
+    in
+    Ok { version; tool; results = List.rev results; latency; metrics }
 
 (* --- files --- *)
 

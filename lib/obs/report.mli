@@ -12,12 +12,14 @@
     documents whose [schema_version] it does not understand, and
     {!to_json}/{!of_json} round-trip exactly. Version 2 added the
     optional host-throughput fields ([host], [std_host]); version 3
-    added the optional cold-vs-warm link-service timings ([relink]); the
-    reader still accepts v1/v2 documents, surfacing those fields as
-    [None]. *)
+    added the optional cold-vs-warm link-service timings ([relink]);
+    version 4 added the optional top-level [latency] quantiles (pool
+    task latency over the whole matrix) and [metrics], a full
+    {!Metrics.to_json} registry snapshot. The reader still accepts
+    earlier documents, surfacing those fields as [None]. *)
 
 val schema_version : int
-(** The version {!make} stamps on new reports (currently 3). *)
+(** The version {!make} stamps on new reports (currently 4). *)
 
 val accepted_versions : int list
 (** The versions {!of_json} understands. *)
@@ -60,13 +62,25 @@ type bench = {
   relink : relink option;    (** absent before v3 *)
 }
 
+type quantiles = {
+  q_count : int;             (** samples behind the quantiles *)
+  q_p50_us : int;
+  q_p95_us : int;
+  q_p99_us : int;
+  q_max_us : int;
+}
+(** Latency quantiles in microseconds (absent before v4). *)
+
 type t = {
   version : int;
   tool : string;
   results : bench list;
+  latency : quantiles option;  (** absent before v4 *)
+  metrics : Json.t option;     (** registry snapshot; absent before v4 *)
 }
 
-val make : ?tool:string -> bench list -> t
+val make :
+  ?tool:string -> ?latency:quantiles -> ?metrics:Json.t -> bench list -> t
 (** [tool] defaults to ["omlt"]. [version] is {!schema_version}. *)
 
 val attribution_of_profile : Attr.t -> attribution

@@ -4,34 +4,54 @@ type span = {
   start_us : float;
   dur_us : float;
   counters : (string * int) list;
+  tid : int;
 }
 
+(* Completed spans from every domain funnel into one mutex-guarded
+   sink; the per-domain state (nesting depth) lives in the collector,
+   which is domain-local. *)
+type sink = { s_lock : Mutex.t; mutable s_recorded : span list }
+
 type collector = {
-  mutable recorded : span list;  (* reverse start order *)
+  sink : sink;
   mutable depth : int;
   t0 : float;
 }
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
-let collector () = { recorded = []; depth = 0; t0 = now_us () }
+let collector () =
+  { sink = { s_lock = Mutex.create (); s_recorded = [] };
+    depth = 0;
+    t0 = now_us () }
+
+let worker c = { sink = c.sink; depth = 0; t0 = c.t0 }
 
 let spans c =
+  let recorded =
+    Mutex.protect c.sink.s_lock @@ fun () -> c.sink.s_recorded
+  in
   (* recorded holds spans in completion order; sort back to start order *)
   List.sort
-    (fun a b -> compare (a.start_us, a.depth) (b.start_us, b.depth))
-    (List.rev c.recorded)
+    (fun a b -> compare (a.start_us, a.tid, a.depth) (b.start_us, b.tid, b.depth))
+    (List.rev recorded)
 
-let current : collector option ref = ref None
-let install c = current := c
-let active () = Option.is_some !current
+(* The ambient collector is domain-local: installing one on the main
+   domain does not leak into pool workers (each worker installs its own
+   [worker] view over the shared sink). *)
+let key : collector option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install c = Domain.DLS.set key c
+let ambient () = Domain.DLS.get key
+let active () = Option.is_some (ambient ())
 
 let span ?counters name f =
-  match !current with
+  match ambient () with
   | None -> f ()
   | Some c ->
       let depth = c.depth in
       c.depth <- depth + 1;
+      let tid = (Domain.self () :> int) in
       let start = now_us () in
       let finish () =
         let dur_us = now_us () -. start in
@@ -39,9 +59,11 @@ let span ?counters name f =
         let counters =
           match counters with None -> [] | Some g -> ( try g () with _ -> [])
         in
-        c.recorded <-
-          { name; depth; start_us = start -. c.t0; dur_us; counters }
-          :: c.recorded
+        let s =
+          { name; depth; start_us = start -. c.t0; dur_us; counters; tid }
+        in
+        Mutex.protect c.sink.s_lock @@ fun () ->
+        c.sink.s_recorded <- s :: c.sink.s_recorded
       in
       (match f () with
       | v ->
@@ -52,10 +74,10 @@ let span ?counters name f =
           raise e)
 
 let with_collector f =
-  let saved = !current in
+  let saved = ambient () in
   let c = collector () in
-  current := Some c;
-  Fun.protect ~finally:(fun () -> current := saved) @@ fun () ->
+  install (Some c);
+  Fun.protect ~finally:(fun () -> install saved) @@ fun () ->
   let v = f () in
   (c, v)
 
@@ -70,7 +92,7 @@ let to_chrome_json c =
              ("ts", Json.Float s.start_us);
              ("dur", Json.Float s.dur_us);
              ("pid", Json.Int 1);
-             ("tid", Json.Int 1) ]
+             ("tid", Json.Int s.tid) ]
          in
          let args =
            match s.counters with

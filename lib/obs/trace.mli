@@ -17,17 +17,30 @@ type span = {
   start_us : float;      (** microseconds since the collector was created *)
   dur_us : float;
   counters : (string * int) list;
+  tid : int;             (** id of the domain that recorded the span *)
 }
 
 type collector
 
 val collector : unit -> collector
 val spans : collector -> span list
-(** Completed spans in start order. *)
+(** Completed spans in start order — including spans recorded by worker
+    collectors sharing this collector's sink. *)
 
 val install : collector option -> unit
-(** Set or clear the ambient collector. [None] is the default: spans
-    become no-ops. *)
+(** Set or clear the ambient collector {e for the current domain}.
+    [None] is the default: spans become no-ops. Collectors are
+    domain-local; installing one on the main domain does not make
+    spawned domains trace. *)
+
+val ambient : unit -> collector option
+(** The collector installed on the current domain, if any. *)
+
+val worker : collector -> collector
+(** A fresh depth-0 collector feeding the same sink (and sharing the
+    same time origin). Spawned domains install one of these so their
+    spans merge into the parent trace without racing on its nesting
+    depth. *)
 
 val active : unit -> bool
 

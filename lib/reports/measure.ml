@@ -49,6 +49,23 @@ let decode_cached image =
 let mips_of ~insns ~wall_s =
   if wall_s > 0. then float_of_int insns /. wall_s /. 1e6 else 0.
 
+let sim_mips_gauge =
+  lazy
+    (Obs.Metrics.gauge ~help:"Simulated MIPS of the most recent simulation"
+       "omlt_sim_mips")
+
+let sim_insns_counter =
+  lazy
+    (Obs.Metrics.counter ~help:"Instructions simulated" "omlt_sim_insns_total")
+
+let sim_runs_counter =
+  lazy (Obs.Metrics.counter ~help:"Simulations run" "omlt_sim_runs_total")
+
+let note_simulation ~insns ~mips =
+  Obs.Metrics.set_gauge (Lazy.force sim_mips_gauge) mips;
+  Obs.Metrics.incr ~by:insns (Lazy.force sim_insns_counter);
+  Obs.Metrics.incr (Lazy.force sim_runs_counter)
+
 let run_image image =
   let ( let* ) = Result.bind in
   let fault e =
@@ -60,12 +77,14 @@ let run_image image =
   | Ok o ->
       let wall_s = Unix.gettimeofday () -. t0 in
       let insns = o.Machine.Cpu.stats.Machine.Cpu.insns in
+      let mips = mips_of ~insns ~wall_s in
+      note_simulation ~insns ~mips;
       Ok
         ( o.Machine.Cpu.stats.Machine.Cpu.cycles,
           insns,
           o.Machine.Cpu.output,
           wall_s,
-          mips_of ~insns ~wall_s )
+          mips )
   | Error e -> Error (fault e)
 
 let run_benchmark ?(levels = Om.all_levels) build (b : Workloads.Programs.benchmark) =

@@ -58,4 +58,6 @@ let ping fd ?deadline_ms ?(delay_ms = 0) () =
 
 let stats fd = roundtrip fd (P.request P.Stats)
 
+let metrics fd = roundtrip fd (P.request P.Metrics)
+
 let shutdown fd = roundtrip fd (P.request P.Shutdown)

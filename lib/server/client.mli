@@ -31,5 +31,10 @@ val ping :
 val stats :
   Unix.file_descr -> ((string * Obs.Json.t) list, Protocol.err) result
 
+val metrics :
+  Unix.file_descr -> ((string * Obs.Json.t) list, Protocol.err) result
+(** Live registry snapshot: the reply carries [metrics] (JSON) and
+    [prometheus] (text) fields. *)
+
 val shutdown :
   Unix.file_descr -> ((string * Obs.Json.t) list, Protocol.err) result

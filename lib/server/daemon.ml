@@ -149,6 +149,13 @@ let suite_reply ~bench ~jobs =
         [ ("report", Obs.Report.to_json report);
           ("failures", Json.List failures) ]
 
+let metrics_reply engine =
+  Engine.sync_store_metrics engine;
+  let reg = Engine.metrics engine in
+  P.ok_response
+    [ ("metrics", Obs.Metrics.to_json reg);
+      ("prometheus", Json.String (Obs.Metrics.to_prometheus reg)) ]
+
 let spans_json spans =
   Json.List
     (List.map
@@ -168,6 +175,7 @@ let handle engine ~requests (e : P.envelope) =
     | P.Compile { files } -> compile_reply engine files
     | P.Link { files; level; entry } -> link_reply engine ~files ~level ~entry
     | P.Stats -> stats_json engine ~requests
+    | P.Metrics -> metrics_reply engine
     | P.Suite { bench; jobs } -> suite_reply ~bench ~jobs
     | P.Shutdown -> P.ok_response [ ("stopping", Json.Bool true) ]
   in
@@ -281,7 +289,19 @@ let bind_socket path =
 
 type conn_verdict = Conn_closed | Stop_server
 
+let error_code_of reply =
+  match Json.member "ok" reply with
+  | Some (Json.Bool false) ->
+      Option.bind (Json.member "error" reply) (fun e ->
+          Option.bind (Json.member "code" e) Json.get_string)
+  | _ -> None
+
 let serve_conn engine ~default_deadline_ms ~abandoned fd =
+  let reg = Engine.metrics engine in
+  let inflight =
+    Obs.Metrics.gauge ~registry:reg ~help:"Requests currently being served"
+      "omlinkd_inflight"
+  in
   let send_safe j = try P.send fd j; true with Unix.Unix_error _ -> false in
   let rec loop () =
     abandoned := reap !abandoned;
@@ -298,15 +318,32 @@ let serve_conn engine ~default_deadline_ms ~abandoned fd =
             if send_safe (P.error_response ~code:"protocol" m) then loop ()
             else Conn_closed
         | Ok env ->
+            let kind = P.kind_of_request env.P.req in
+            Obs.Log.debug "request"
+              ~fields:
+                [ ("id", Json.Int requests); ("kind", Json.String kind) ];
             let deadline_ms =
               match env.P.deadline_ms with
               | Some _ as d -> d
               | None -> default_deadline_ms
             in
+            Obs.Metrics.add_gauge inflight 1.;
+            let t0 = Unix.gettimeofday () in
             let outcome, orphan =
               run_with_deadline ~deadline_ms (fun () ->
                   handle engine ~requests env)
             in
+            let elapsed_s = Unix.gettimeofday () -. t0 in
+            Obs.Metrics.add_gauge inflight (-1.);
+            Obs.Metrics.observe_s
+              (Obs.Metrics.histogram ~registry:reg
+                 ~labels:[ ("kind", kind) ]
+                 ~help:"Request latency in microseconds" "omlinkd_request_us")
+              elapsed_s;
+            Obs.Metrics.incr
+              (Obs.Metrics.counter ~registry:reg
+                 ~labels:[ ("kind", kind) ]
+                 ~help:"Requests served" "omlinkd_requests_total");
             (match orphan with
             | Some a -> abandoned := a :: !abandoned
             | None -> ());
@@ -319,6 +356,24 @@ let serve_conn engine ~default_deadline_ms ~abandoned fd =
                     (Printf.sprintf "deadline of %d ms exceeded"
                        (Option.value deadline_ms ~default:0))
             in
+            (match error_code_of reply with
+            | Some code ->
+                Obs.Metrics.incr
+                  (Obs.Metrics.counter ~registry:reg
+                     ~labels:[ ("code", code) ]
+                     ~help:"Error replies by code" "omlinkd_errors_total");
+                Obs.Log.warn "request_error"
+                  ~fields:
+                    [ ("id", Json.Int requests);
+                      ("kind", Json.String kind);
+                      ("code", Json.String code);
+                      ("elapsed_s", Json.Float elapsed_s) ]
+            | None ->
+                Obs.Log.debug "request_done"
+                  ~fields:
+                    [ ("id", Json.Int requests);
+                      ("kind", Json.String kind);
+                      ("elapsed_s", Json.Float elapsed_s) ]);
             let sent = send_safe reply in
             if env.P.req = P.Shutdown && outcome <> Timed_out then Stop_server
             else if sent then loop ()
@@ -326,18 +381,24 @@ let serve_conn engine ~default_deadline_ms ~abandoned fd =
   in
   loop ()
 
-let serve ?engine ?socket ?default_deadline_ms ?(log = ignore) () =
+let serve ?engine ?socket ?default_deadline_ms () =
   let engine =
     match engine with Some e -> e | None -> Engine.create ()
   in
   let path = match socket with Some s -> s | None -> default_socket () in
   match bind_socket path with
-  | Error m -> Error m
+  | Error m ->
+      Obs.Log.error "bind_failed"
+        ~fields:[ ("socket", Json.String path); ("message", Json.String m) ];
+      Error m
   | Ok listen_fd ->
-      log (Printf.sprintf "omlinkd: listening on %s" path);
-      (match Store.dir (Engine.store engine) with
-      | Some d -> log (Printf.sprintf "omlinkd: artifact store at %s" d)
-      | None -> log "omlinkd: in-memory artifact store");
+      Obs.Log.info "listening"
+        ~fields:
+          [ ("socket", Json.String path);
+            ( "store",
+              match Store.dir (Engine.store engine) with
+              | Some d -> Json.String d
+              | None -> Json.String "memory" ) ];
       let abandoned = ref [] in
       let rec accept_loop () =
         match Unix.accept ~cloexec:true listen_fd with
@@ -352,7 +413,7 @@ let serve ?engine ?socket ?default_deadline_ms ?(log = ignore) () =
             in
             (match verdict with
             | Conn_closed -> accept_loop ()
-            | Stop_server -> log "omlinkd: shutdown requested")
+            | Stop_server -> Obs.Log.info "shutdown")
       in
       let finally () =
         (try Unix.close listen_fd with Unix.Unix_error _ -> ());

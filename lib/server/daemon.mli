@@ -15,14 +15,15 @@ val serve :
   ?engine:Engine.t ->
   ?socket:string ->
   ?default_deadline_ms:int ->
-  ?log:(string -> unit) ->
   unit ->
   (unit, string) result
 (** Bind the socket and serve until a [shutdown] request. A leftover
     socket file with no listener behind it (a crashed daemon) is
     removed and taken over; a live listener is an error. Returns after
-    shutdown with the socket file removed. [log] receives one-line
-    progress messages (default: none). *)
+    shutdown with the socket file removed. Progress and failure
+    diagnostics are {!Obs.Log} events (enable with [OMLT_LOG] or
+    {!Obs.Log.set_level}); request latency, in-flight and error
+    counters land in the engine's metrics registry. *)
 
 val handle : Engine.t -> requests:int -> Protocol.envelope -> Obs.Json.t
 (** One request, in-process — the dispatch the daemon runs behind the

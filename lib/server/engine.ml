@@ -24,9 +24,10 @@ type t = {
   created_at : float;
   lock : Mutex.t;
   mutable requests : int;
+  metrics : Obs.Metrics.t;
 }
 
-let create ?store () =
+let create ?store ?(metrics = Obs.Metrics.default) () =
   let store = match store with Some s -> s | None -> Store.create () in
   let libstd = lazy (Runtime.libstd ()) in
   { store;
@@ -34,9 +35,30 @@ let create ?store () =
     libstd_digest = lazy (Store.Codec.archive_digest (Lazy.force libstd));
     created_at = Unix.gettimeofday ();
     lock = Mutex.create ();
-    requests = 0 }
+    requests = 0;
+    metrics }
 
 let store t = t.store
+let metrics t = t.metrics
+
+(* Store counters are maintained by [Store] itself; mirror them into the
+   registry on demand so every exposition path (daemon metrics reply,
+   [omlink metrics], report snapshots) sees fresh values without the
+   store taking a registry dependency. *)
+let sync_store_metrics t =
+  List.iter
+    (fun kind ->
+      let label = [ ("kind", Store.kind_name kind) ] in
+      let c = Store.counters t.store kind in
+      List.iter
+        (fun (field, v) ->
+          Obs.Metrics.set_counter
+            (Obs.Metrics.counter ~registry:t.metrics ~labels:label
+               ~help:"Store counters mirrored from Store.counters"
+               ("omlt_store_" ^ field))
+            v)
+        (Store.counters_to_alist c))
+    [ Store.Cunit; Store.Lifted; Store.Image ]
 
 let count_request t =
   Mutex.protect t.lock (fun () ->
@@ -186,11 +208,21 @@ let link t ?entry ~level inputs =
          @ List.map Store.Codec.cunit_digest units))
   in
   let finish ~image_hit image stats =
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    Obs.Metrics.observe_s
+      (Obs.Metrics.histogram ~registry:t.metrics
+         ~labels:[ ("level", level_name level) ]
+         ~help:"Engine link latency in microseconds" "engine_link_us")
+      elapsed_s;
+    Obs.Metrics.incr
+      (Obs.Metrics.counter ~registry:t.metrics
+         ~labels:[ ("result", if image_hit then "hit" else "miss") ]
+         ~help:"Whole-image cache outcomes" "engine_image_cache_total");
     let info =
       { li_level = level_name level;
         li_image_digest = Store.Codec.image_digest image;
         li_insns = Linker.Image.insn_count image;
-        li_elapsed_s = Unix.gettimeofday () -. t0;
+        li_elapsed_s = elapsed_s;
         li_image_hit = image_hit;
         li_cunit = Store.counters_diff (c0 Store.Cunit) cunit0;
         li_lifted = Store.counters_diff (c0 Store.Lifted) lifted0;
@@ -251,7 +283,11 @@ let time f =
   (r, Unix.gettimeofday () -. t0)
 
 let relink_timings ?(level = "full") (b : Workloads.Programs.benchmark) =
-  let engine = create ~store:(Store.in_memory ()) () in
+  (* hermetic: neither the store nor the metrics of the timing probe
+     belong in the process-wide registry *)
+  let engine =
+    create ~store:(Store.in_memory ()) ~metrics:(Obs.Metrics.create ()) ()
+  in
   let inputs srcs =
     List.map (fun (name, text) -> Source { name; text }) srcs
   in

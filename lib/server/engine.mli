@@ -8,11 +8,20 @@
 
 type t
 
-val create : ?store:Store.t -> unit -> t
+val create : ?store:Store.t -> ?metrics:Obs.Metrics.t -> unit -> t
 (** A fresh engine. [store] defaults to [Store.create ()] (which honours
-    [$OMLT_STORE]); pass [Store.in_memory ()] for a hermetic engine. *)
+    [$OMLT_STORE]); pass [Store.in_memory ()] for a hermetic engine.
+    [metrics] defaults to {!Obs.Metrics.default}; pass a fresh registry
+    to keep an engine's instruments isolated (tests do). *)
 
 val store : t -> Store.t
+val metrics : t -> Obs.Metrics.t
+
+val sync_store_metrics : t -> unit
+(** Mirror the store's per-kind counters into the metrics registry as
+    [omlt_store_*{kind=...}] counters. Exposition paths call this just
+    before snapshotting. *)
+
 val uptime_s : t -> float
 
 val count_request : t -> int

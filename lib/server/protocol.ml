@@ -105,6 +105,7 @@ type request =
   | Compile of { files : string list }
   | Link of { files : string list; level : string; entry : string option }
   | Stats
+  | Metrics
   | Suite of { bench : string option; jobs : int option }
   | Shutdown
 
@@ -121,6 +122,7 @@ let kind_of_request = function
   | Compile _ -> "compile"
   | Link _ -> "link"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Suite _ -> "suite"
   | Shutdown -> "shutdown"
 
@@ -137,7 +139,7 @@ let request_to_json (e : envelope) =
         @ (match entry with
           | None -> []
           | Some e -> [ ("entry", Json.String e) ])
-    | Stats | Shutdown -> []
+    | Stats | Metrics | Shutdown -> []
     | Suite { bench; jobs } ->
         (match bench with
         | None -> []
@@ -193,6 +195,7 @@ let request_of_json j =
         let* entry = opt_member "entry" Json.get_string j in
         Ok (Link { files; level = Option.value level ~default:"full"; entry })
     | "stats" -> Ok Stats
+    | "metrics" -> Ok Metrics
     | "suite" ->
         let* bench = opt_member "bench" Json.get_string j in
         let* jobs = opt_member "jobs" Json.get_int j in

@@ -30,6 +30,9 @@ type request =
   | Compile of { files : string list }
   | Link of { files : string list; level : string; entry : string option }
   | Stats
+  | Metrics
+      (** live registry snapshot: the reply carries [metrics] (JSON) and
+          [prometheus] (text exposition) fields *)
   | Suite of { bench : string option; jobs : int option }
   | Shutdown
 

@@ -427,6 +427,319 @@ let test_suite_json_roundtrip () =
                (fun c -> List.mem_assoc (Obs.Attr.category_name c) buckets)
                Obs.Attr.all_categories))
 
+(* --- Json escaping (control chars, unicode) --- *)
+
+let test_json_escaping () =
+  let printed = Obs.Json.to_string (Obs.Json.String "\x01\x1f\t\n\"\\") in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " escaped") true
+        (Astring.String.is_infix ~affix printed))
+    [ {|\u0001|}; {|\u001f|}; {|\t|}; {|\n|}; {|\"|}; {|\\|} ];
+  (* no raw control byte survives into the output *)
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "printed text has no control bytes" true
+        (Char.code c >= 0x20))
+    printed;
+  (* \uXXXX escapes decode to UTF-8, surrogate pairs included *)
+  (match Obs.Json.parse {|"é ☃"|} with
+  | Ok v ->
+      Alcotest.check json "BMP escapes" (Obs.Json.String "\xc3\xa9 \xe2\x98\x83") v
+  | Error m -> Alcotest.failf "BMP escapes: %s" m);
+  (match Obs.Json.parse {|"😀"|} with
+  | Ok v ->
+      Alcotest.check json "surrogate pair" (Obs.Json.String "\xf0\x9f\x98\x80") v
+  | Error m -> Alcotest.failf "surrogate pair: %s" m);
+  (* escaping round-trips byte-for-byte *)
+  let tricky = "mixed \x00\x1b bytes, caf\xc3\xa9, \xf0\x9f\x98\x80, \"q\"" in
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Json.String tricky)) with
+  | Ok (Obs.Json.String s) -> Alcotest.(check string) "round-trip" tricky s
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error m -> Alcotest.failf "round-trip: %s" m
+
+(* --- Metrics --- *)
+
+let test_metrics_buckets () =
+  (* below sub (256) every integer is its own bucket: exact *)
+  for v = 0 to 255 do
+    Alcotest.(check int)
+      (Printf.sprintf "exact bucket for %d" v)
+      v
+      (Obs.Metrics.bucket_lower (Obs.Metrics.bucket_index v))
+  done;
+  (* above: lower bound <= v with relative error bounded by 1/128 *)
+  List.iter
+    (fun v ->
+      let lo = Obs.Metrics.bucket_lower (Obs.Metrics.bucket_index v) in
+      Alcotest.(check bool) (Printf.sprintf "lower bound <= %d" v) true (lo <= v);
+      Alcotest.(check bool)
+        (Printf.sprintf "error bounded for %d" v)
+        true
+        (v - lo <= v / 128))
+    [ 256; 257; 511; 512; 1000; 4096; 65535; 1_000_000; 123_456_789; max_int ];
+  (* the index is monotone across bucket boundaries *)
+  let prev = ref (-1) in
+  for v = 0 to 100_000 do
+    let i = Obs.Metrics.bucket_index v in
+    Alcotest.(check bool) "monotone" true (i >= !prev);
+    prev := i
+  done
+
+let test_metrics_quantiles_exact () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~registry:reg "h_us" in
+  (* a scripted sequence of small values: every bucket is width-1, so
+     every quantile is the true sample value *)
+  List.iter (Obs.Metrics.observe h) (List.init 100 (fun i -> i + 1));
+  let s = Obs.Metrics.summary h in
+  Alcotest.(check int) "count" 100 s.Obs.Metrics.count;
+  Alcotest.(check int) "sum" 5050 s.Obs.Metrics.sum;
+  Alcotest.(check int) "min" 1 s.Obs.Metrics.min;
+  Alcotest.(check int) "max" 100 s.Obs.Metrics.max;
+  Alcotest.(check int) "p50 exact" 50 s.Obs.Metrics.p50;
+  Alcotest.(check int) "p95 exact" 95 s.Obs.Metrics.p95;
+  Alcotest.(check int) "p99 exact" 99 s.Obs.Metrics.p99;
+  (* max is exact even when it lands in a wide bucket *)
+  Obs.Metrics.observe h 1_000_001;
+  Alcotest.(check int) "wide-bucket max exact" 1_000_001
+    (Obs.Metrics.summary h).Obs.Metrics.max;
+  (* re-registration returns the same histogram *)
+  let h' = Obs.Metrics.histogram ~registry:reg "h_us" in
+  Alcotest.(check int) "shared instrument" 101
+    (Obs.Metrics.summary h').Obs.Metrics.count;
+  Alcotest.(check bool) "find_histogram finds it" true
+    (Obs.Metrics.find_histogram ~registry:reg "h_us" <> None);
+  Alcotest.(check bool) "find_histogram misses unknown names" true
+    (Obs.Metrics.find_histogram ~registry:reg "nope" = None)
+
+let test_metrics_exposition () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~registry:reg ~labels:[ ("kind", "x") ] "c_total" in
+  Obs.Metrics.incr ~by:3 c;
+  let g = Obs.Metrics.gauge ~registry:reg "g" in
+  Obs.Metrics.set_gauge g 2.5;
+  let h = Obs.Metrics.histogram ~registry:reg "h_us" in
+  List.iter (Obs.Metrics.observe h) [ 5; 10; 10; 20 ];
+  let text = Obs.Metrics.to_prometheus reg in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " in exposition") true
+        (Astring.String.is_infix ~affix text))
+    [ {|c_total{kind="x"} 3|};
+      "g 2.5";
+      {|h_us_bucket{le="5"} 1|};
+      {|h_us_bucket{le="10"} 3|};
+      {|h_us_bucket{le="20"} 4|};
+      {|h_us_bucket{le="+Inf"} 4|};
+      "h_us_sum 45";
+      "h_us_count 4";
+      {|h_us{quantile="0.5"} 10|};
+      "# TYPE c_total counter";
+      "# TYPE h_us histogram" ];
+  (* the JSON snapshot survives the printer/parser round-trip *)
+  let snapshot = Obs.Metrics.to_json reg in
+  (match Obs.Json.parse (Obs.Json.to_string snapshot) with
+  | Ok j' -> Alcotest.check json "snapshot round-trips" snapshot j'
+  | Error m -> Alcotest.failf "snapshot parse: %s" m);
+  (* and carries the histogram payload *)
+  match Obs.Json.member "histograms" snapshot with
+  | Some (Obs.Json.List [ hj ]) ->
+      let get name = Option.bind (Obs.Json.member name hj) Obs.Json.get_int in
+      Alcotest.(check (option int)) "count" (Some 4) (get "count");
+      Alcotest.(check (option int)) "p50" (Some 10) (get "p50");
+      Alcotest.(check (option int)) "max" (Some 20) (get "max")
+  | _ -> Alcotest.fail "snapshot carries no histogram list"
+
+let test_metrics_multidomain () =
+  (* hammer one histogram and one counter from several domains: no
+     observation may be lost *)
+  let reg = Obs.Metrics.create () in
+  let per_domain = 10_000 and domains = 4 in
+  let worker () =
+    (* each domain mints its own handles, exercising get-or-create *)
+    let h = Obs.Metrics.histogram ~registry:reg "mt_us" in
+    let c = Obs.Metrics.counter ~registry:reg "mt_total" in
+    for i = 1 to per_domain do
+      Obs.Metrics.observe h (i mod 200);
+      Obs.Metrics.incr c
+    done
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  let h = Obs.Metrics.histogram ~registry:reg "mt_us" in
+  let c = Obs.Metrics.counter ~registry:reg "mt_total" in
+  Alcotest.(check int) "no lost observations" (domains * per_domain)
+    (Obs.Metrics.summary h).Obs.Metrics.count;
+  Alcotest.(check int) "no lost increments" (domains * per_domain)
+    (Obs.Metrics.counter_value c)
+
+(* --- Trace across domains --- *)
+
+let test_trace_multidomain () =
+  let n = 16 in
+  let c, results =
+    Obs.Trace.with_collector (fun () ->
+        Reports.Pool.map ~jobs:4
+          (fun i -> Obs.Trace.span (Printf.sprintf "task%d" i) (fun () -> i * 2))
+          (List.init n Fun.id))
+  in
+  Alcotest.(check (list int)) "results in order"
+    (List.init n (fun i -> i * 2))
+    results;
+  let spans = Obs.Trace.spans c in
+  let task_spans =
+    List.filter
+      (fun (s : Obs.Trace.span) ->
+        String.length s.Obs.Trace.name >= 4
+        && String.sub s.Obs.Trace.name 0 4 = "task")
+      spans
+  in
+  Alcotest.(check int) "no span lost across domains" n
+    (List.length task_spans);
+  Alcotest.(check (list string)) "every task span present, exactly once"
+    (List.sort compare (List.init n (Printf.sprintf "task%d")))
+    (List.sort compare
+       (List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.name) task_spans));
+  (* worker spans carry their own depth-0 nesting *)
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      Alcotest.(check int) "worker span depth" 0 s.Obs.Trace.depth)
+    task_spans
+
+(* --- Report v3/v4 side by side --- *)
+
+let v3_doc () =
+  Obs.Json.Obj
+    [ ("schema_version", Obs.Json.Int 3);
+      ("tool", Obs.Json.String "t");
+      ( "results",
+        Obs.Json.List
+          [ Obs.Json.Obj
+              [ ("bench", Obs.Json.String "b");
+                ("build", Obs.Json.String "compile-each");
+                ("std_cycles", Obs.Json.Int 10);
+                ("std_insns", Obs.Json.Int 5);
+                ("std_attribution", Obs.Json.Null);
+                ("std_fault", Obs.Json.Null);
+                ("outputs_agree", Obs.Json.Bool true);
+                ("runs", Obs.Json.List []);
+                ("std_host", Obs.Json.Null);
+                ( "relink",
+                  Obs.Json.Obj
+                    [ ("cold_s", Obs.Json.Float 0.2);
+                      ("warm_s", Obs.Json.Float 0.05) ] ) ] ] ) ]
+
+let test_report_accepts_v3_and_v4 () =
+  (* v3: no latency/metrics fields — they surface as None *)
+  (match Obs.Report.of_json (v3_doc ()) with
+  | Error m -> Alcotest.failf "v3 document rejected: %s" m
+  | Ok r ->
+      Alcotest.(check bool) "v3 latency is None" true (r.Obs.Report.latency = None);
+      Alcotest.(check bool) "v3 metrics is None" true (r.Obs.Report.metrics = None);
+      Alcotest.(check bool) "v3 relink survives" true
+        ((List.hd r.Obs.Report.results).Obs.Report.relink <> None));
+  (* v4: fresh reports carry quantiles and a metrics snapshot *)
+  Alcotest.(check int) "make stamps v4" 4 Obs.Report.schema_version;
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~registry:reg "lat_us" in
+  List.iter (Obs.Metrics.observe h) [ 10; 20; 30 ];
+  let r4 =
+    Obs.Report.make ~tool:"test"
+      ~latency:
+        { Obs.Report.q_count = 3; q_p50_us = 20; q_p95_us = 30; q_p99_us = 30;
+          q_max_us = 30 }
+      ~metrics:(Obs.Metrics.to_json reg) []
+  in
+  let path = Filename.temp_file "obs_report_v4" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Report.write path r4;
+  match Obs.Report.read path with
+  | Error m -> Alcotest.failf "v4 read failed: %s" m
+  | Ok r' -> (
+      Alcotest.(check int) "version" 4 r'.Obs.Report.version;
+      (match r'.Obs.Report.latency with
+      | Some q ->
+          Alcotest.(check int) "q_count" 3 q.Obs.Report.q_count;
+          Alcotest.(check int) "q_p50" 20 q.Obs.Report.q_p50_us;
+          Alcotest.(check int) "q_max" 30 q.Obs.Report.q_max_us
+      | None -> Alcotest.fail "latency lost");
+      match r'.Obs.Report.metrics with
+      | Some m ->
+          Alcotest.(check bool) "metrics snapshot survives" true
+            (Obs.Json.member "histograms" m <> None)
+      | None -> Alcotest.fail "metrics lost")
+
+(* --- Compare: the regression gate --- *)
+
+let report_with ~cycles ~improvement ~mips =
+  Obs.Report.make ~tool:"test"
+    [ { Obs.Report.bench = "b";
+        build = "compile-each";
+        std_cycles = 1000;
+        std_insns = 100;
+        std_attribution = None;
+        std_fault = None;
+        outputs_agree = true;
+        runs =
+          [ { Obs.Report.level = "om-full";
+              cycles;
+              insns = 90;
+              improvement_pct = improvement;
+              counters = [];
+              attribution = None;
+              fault = None;
+              host = Some { Obs.Report.wall_s = 0.1; mips } } ];
+        std_host = Some { Obs.Report.wall_s = 0.1; mips = 100. };
+        relink = None } ]
+
+let test_compare_gate () =
+  let base = report_with ~cycles:800 ~improvement:20.0 ~mips:100. in
+  (* identical reports: clean pass *)
+  let same = Obs.Compare.compare ~old_r:base ~new_r:base () in
+  Alcotest.(check bool) "identical reports pass" true (Obs.Compare.ok same);
+  Alcotest.(check int) "no regressions" 0
+    (List.length same.Obs.Compare.regressions);
+  (* cycles +5% and improvement -4 points: both gate *)
+  let regressed = report_with ~cycles:840 ~improvement:16.0 ~mips:100. in
+  let out = Obs.Compare.compare ~old_r:base ~new_r:regressed () in
+  Alcotest.(check bool) "regression fails the gate" false (Obs.Compare.ok out);
+  let metrics =
+    List.map (fun f -> f.Obs.Compare.metric) out.Obs.Compare.regressions
+  in
+  Alcotest.(check bool) "cycles gated" true (List.mem "cycles" metrics);
+  Alcotest.(check bool) "improvement gated" true
+    (List.mem "improvement_pct" metrics);
+  (* a big MIPS drop is a warning by default, a regression when gated *)
+  let slower = report_with ~cycles:800 ~improvement:20.0 ~mips:50. in
+  let warned = Obs.Compare.compare ~old_r:base ~new_r:slower () in
+  Alcotest.(check bool) "mips drop alone passes by default" true
+    (Obs.Compare.ok warned);
+  Alcotest.(check bool) "but is surfaced as a warning" true
+    (List.exists
+       (fun f -> f.Obs.Compare.metric = "mips")
+       warned.Obs.Compare.warnings);
+  let gated =
+    Obs.Compare.compare
+      ~thresholds:
+        { Obs.Compare.default_thresholds with
+          Obs.Compare.max_mips_drop_pct = Some 20. }
+      ~old_r:base ~new_r:slower ()
+  in
+  Alcotest.(check bool) "gated mips drop fails" false (Obs.Compare.ok gated);
+  (* faster cycles surface as improvements, not regressions *)
+  let faster = report_with ~cycles:700 ~improvement:30.0 ~mips:100. in
+  let better = Obs.Compare.compare ~old_r:base ~new_r:faster () in
+  Alcotest.(check bool) "improvement passes" true (Obs.Compare.ok better);
+  Alcotest.(check bool) "improvements recorded" true
+    (better.Obs.Compare.improvements <> []);
+  (* a vanished bench row is reported missing *)
+  let empty = Obs.Report.make ~tool:"test" [] in
+  let gone = Obs.Compare.compare ~old_r:base ~new_r:empty () in
+  Alcotest.(check (list string)) "missing rows listed" [ "b/compile-each" ]
+    gone.Obs.Compare.missing
+
 let suite =
   ( "obs",
     [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -447,4 +760,15 @@ let suite =
       Alcotest.test_case "report accepts v2 documents" `Quick
         test_report_accepts_v2;
       Alcotest.test_case "suite --json round-trip" `Quick
-        test_suite_json_roundtrip ] )
+        test_suite_json_roundtrip;
+      Alcotest.test_case "json escaping" `Quick test_json_escaping;
+      Alcotest.test_case "metrics bucket layout" `Quick test_metrics_buckets;
+      Alcotest.test_case "metrics exact quantiles" `Quick
+        test_metrics_quantiles_exact;
+      Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition;
+      Alcotest.test_case "metrics across domains" `Quick
+        test_metrics_multidomain;
+      Alcotest.test_case "trace across domains" `Quick test_trace_multidomain;
+      Alcotest.test_case "report accepts v3 and v4" `Quick
+        test_report_accepts_v3_and_v4;
+      Alcotest.test_case "compare regression gate" `Quick test_compare_gate ] )

@@ -306,6 +306,178 @@ let test_daemon_smoke () =
   | Error m -> Alcotest.failf "daemon exited with: %s" m);
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
 
+(* Scripted latencies fetched back over the wire: the registry's
+   quantiles must be *exact* for values below the unit-bucket limit,
+   and the daemon must expose per-request-kind histograms for the
+   requests the client actually sent. *)
+let test_daemon_metrics_exact () =
+  let dir = tmp_sources () in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let socket = Filename.concat dir "d.sock" in
+  let reg = Obs.Metrics.create () in
+  let engine =
+    Server.Engine.create ~store:(Store.in_memory ()) ~metrics:reg ()
+  in
+  (* a scripted request sequence under a kind label the test never
+     sends over the wire, so live daemon latencies cannot pollute it *)
+  let h =
+    Obs.Metrics.histogram ~registry:reg
+      ~labels:[ ("kind", "scripted") ]
+      "omlinkd_request_us"
+  in
+  for v = 1 to 100 do
+    Obs.Metrics.observe h v
+  done;
+  let server =
+    Domain.spawn (fun () -> Server.Daemon.serve ~engine ~socket ())
+  in
+  let rec connect tries =
+    match Server.Client.connect ~socket () with
+    | Ok fd -> fd
+    | Error m ->
+        if tries = 0 then Alcotest.failf "could not connect: %s" m
+        else begin
+          Unix.sleepf 0.05;
+          connect (tries - 1)
+        end
+  in
+  let fd = connect 100 in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  (* one real request first, so a live per-kind histogram exists too *)
+  (match Server.Client.ping fd () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ping failed: %s" e.P.message);
+  let fields =
+    match Server.Client.metrics fd with
+    | Ok fields -> fields
+    | Error e -> Alcotest.failf "metrics failed: %s" e.P.message
+  in
+  let snapshot =
+    match Server.Client.field "metrics" fields with
+    | Some j -> j
+    | None -> Alcotest.fail "metrics reply carries no snapshot"
+  in
+  let histograms =
+    match Option.bind (Json.member "histograms" snapshot) Json.get_list with
+    | Some l -> l
+    | None -> Alcotest.fail "snapshot carries no histogram list"
+  in
+  let kind_of j =
+    Option.bind (Json.member "labels" j) (Json.member "kind")
+    |> Fun.flip Option.bind Json.get_string
+  in
+  let find_hist kind =
+    List.find_opt
+      (fun j ->
+        Option.bind (Json.member "name" j) Json.get_string
+          = Some "omlinkd_request_us"
+        && kind_of j = Some kind)
+      histograms
+  in
+  (match find_hist "scripted" with
+  | None -> Alcotest.fail "scripted histogram missing from wire snapshot"
+  | Some j ->
+      let int_field name =
+        match Option.bind (Json.member name j) Json.get_int with
+        | Some v -> v
+        | None -> Alcotest.failf "histogram field %s missing" name
+      in
+      (* values 1..100: every sample sits in a unit-width bucket, so
+         the rank-based quantiles are the true order statistics *)
+      Alcotest.(check int) "count" 100 (int_field "count");
+      Alcotest.(check int) "sum" 5050 (int_field "sum");
+      Alcotest.(check int) "p50 exact" 50 (int_field "p50");
+      Alcotest.(check int) "p95 exact" 95 (int_field "p95");
+      Alcotest.(check int) "p99 exact" 99 (int_field "p99");
+      Alcotest.(check int) "max exact" 100 (int_field "max"));
+  (match find_hist "ping" with
+  | None -> Alcotest.fail "no per-kind histogram for the ping we sent"
+  | Some j ->
+      let count =
+        match Option.bind (Json.member "count" j) Json.get_int with
+        | Some v -> v
+        | None -> Alcotest.fail "ping histogram has no count"
+      in
+      Alcotest.(check bool) "ping latency recorded" true (count >= 1));
+  (* the prometheus rendering travels alongside the snapshot *)
+  (match
+     Option.bind (Server.Client.field "prometheus" fields) Json.get_string
+   with
+  | None -> Alcotest.fail "metrics reply carries no prometheus text"
+  | Some text ->
+      Alcotest.(check bool) "prometheus names the histogram" true
+        (Astring.String.is_infix ~affix:"omlinkd_request_us" text));
+  (match Server.Client.shutdown fd with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "shutdown failed: %s" e.P.message);
+  match Domain.join server with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "daemon exited with: %s" m
+
+(* `bench compare` must exit non-zero when fed a synthetically
+   regressed report, and zero on an identical pair. *)
+let test_bench_compare_exit_codes () =
+  (* resolved relative to the test binary, so the test works from any
+     cwd (dune runtest uses _build/default/test, dune exec does not) *)
+  let bench_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bench" "main.exe"))
+  in
+  if not (Sys.file_exists bench_exe) then
+    Alcotest.fail "bench/main.exe not built alongside the tests";
+  let dir = tmp_sources () in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let report ~cycles ~pct =
+    let run =
+      { Obs.Report.level = "om-full";
+        cycles;
+        insns = 900;
+        improvement_pct = pct;
+        counters = [];
+        attribution = None;
+        fault = None;
+        host = None }
+    in
+    Obs.Report.make
+      [ { Obs.Report.bench = "b";
+          build = "compile-each";
+          std_cycles = 1200;
+          std_insns = 1000;
+          std_attribution = None;
+          std_fault = None;
+          outputs_agree = true;
+          runs = [ run ];
+          std_host = None;
+          relink = None } ]
+  in
+  let write name r =
+    let path = Filename.concat dir name in
+    Obs.Report.write path r;
+    path
+  in
+  let old_p = write "old.json" (report ~cycles:1000 ~pct:20.0) in
+  let same_p = write "same.json" (report ~cycles:1000 ~pct:20.0) in
+  let bad_p = write "bad.json" (report ~cycles:1100 ~pct:12.0) in
+  let run args =
+    Sys.command
+      (Filename.quote_command bench_exe ~stdout:Filename.null
+         ("compare" :: args))
+  in
+  Alcotest.(check int) "identical reports pass" 0 (run [ old_p; same_p ]);
+  Alcotest.(check bool) "regressed report fails" true
+    (run [ old_p; bad_p ] <> 0);
+  Alcotest.(check int) "unreadable report is a usage error" 2
+    (run [ old_p; Filename.concat dir "nope.json" ])
+
 let test_daemon_refuses_second_instance () =
   let dir = tmp_sources () in
   Fun.protect
@@ -356,5 +528,9 @@ let suite =
         test_engine_matches_direct_link;
       Alcotest.test_case "relink timings measurable" `Quick test_relink_timings;
       Alcotest.test_case "daemon end-to-end smoke" `Quick test_daemon_smoke;
+      Alcotest.test_case "daemon metrics exact over the wire" `Quick
+        test_daemon_metrics_exact;
+      Alcotest.test_case "bench compare gates regressions" `Quick
+        test_bench_compare_exit_codes;
       Alcotest.test_case "daemon refuses a second instance" `Quick
         test_daemon_refuses_second_instance ] )
