@@ -7,6 +7,8 @@
      bench/main.exe fig3       one figure: fig3 fig4 fig5 fig6 fig7 gat
      bench/main.exe summary    headline numbers vs. the paper
      bench/main.exe micro      run the Bechamel micro-benchmarks only
+     bench/main.exe batch      full simulation matrix in parallel; MIPS +
+                               block-cache summary, nonzero exit on failure
      bench/main.exe fuzz       differential-fuzzer throughput (cases/sec)
      bench/main.exe relink     cold vs warm link-service relink times
      bench/main.exe quick      figures from a 5-benchmark subset
@@ -108,8 +110,21 @@ let micro () =
       Test.make ~name:"fig3/om-simple-pass" (Staged.stage (om Om.Simple));
       Test.make ~name:"fig4/om-full-pass" (Staged.stage (om Om.Full));
       Test.make ~name:"fig5/om-full-sched-pass" (Staged.stage (om Om.Full_sched));
-      (* Figure 6 requires simulating the linked program: the decoded
-         fast path (what the harness runs) vs the symbolic reference *)
+      (* Figure 6 requires simulating the linked program: the fused
+         superinstruction path (what the harness runs), the unfused
+         per-instruction loop, and the symbolic reference *)
+      Test.make ~name:"fig6/simulate-li-fused"
+        (Staged.stage
+           (let d =
+              match Machine.Cpu.decode std_image with
+              | Ok d -> d
+              | Error _ -> failwith "decode"
+            in
+            let blocks = Machine.Blocks.create d in
+            fun () ->
+              match Machine.Cpu.run_decoded ~blocks d with
+              | Ok _ -> ()
+              | Error _ -> failwith "fault"));
       Test.make ~name:"fig6/simulate-li"
         (Staged.stage
            (let d =
@@ -118,7 +133,7 @@ let micro () =
               | Error _ -> failwith "decode"
             in
             fun () ->
-              match Machine.Cpu.run_decoded d with
+              match Machine.Cpu.run_decoded_unfused d with
               | Ok _ -> ()
               | Error _ -> failwith "fault"));
       Test.make ~name:"fig6/simulate-li-reference"
@@ -172,15 +187,101 @@ let micro () =
     | Ok d -> d
     | Error _ -> failwith "decode"
   in
-  let r_fast, t_fast = time (fun () -> Machine.Cpu.run_decoded d) in
+  let blocks = Machine.Blocks.create d in
+  ignore (Machine.Cpu.run_decoded ~blocks d) (* warm the executor cache *);
+  let r_fused, t_fused =
+    time (fun () -> Machine.Cpu.run_decoded ~blocks d)
+  in
+  let r_fast, t_fast = time (fun () -> Machine.Cpu.run_decoded_unfused d) in
   let r_ref, t_ref = time (fun () -> Machine.Cpu.run_reference std_image) in
   Printf.printf "\nHost throughput (li, standard image, simulated MIPS):\n";
-  Printf.printf "  %-20s %8.2f MIPS  (%.3f s wall)\n" "decoded fast path"
+  Printf.printf "  %-22s %8.2f MIPS  (%.3f s wall)\n" "fused (superinsn)"
+    (mips (insns_of r_fused) t_fused) t_fused;
+  Printf.printf "  %-22s %8.2f MIPS  (%.3f s wall)\n" "decoded (unfused)"
     (mips (insns_of r_fast) t_fast) t_fast;
-  Printf.printf "  %-20s %8.2f MIPS  (%.3f s wall)\n" "reference interpreter"
+  Printf.printf "  %-22s %8.2f MIPS  (%.3f s wall)\n" "reference interpreter"
     (mips (insns_of r_ref) t_ref) t_ref;
-  if t_fast > 0. then
-    Printf.printf "  fast-path speedup:   %8.2fx\n" (t_ref /. t_fast)
+  if t_fused > 0. then begin
+    Printf.printf "  fused vs decoded:    %8.2fx\n" (t_fast /. t_fused);
+    Printf.printf "  fused vs reference:  %8.2fx\n" (t_ref /. t_fused)
+  end
+
+(* --- batch: the full simulation matrix as a parallel throughput suite ---
+
+   Every benchmark x build x level simulation, spread over the
+   measurement pool, with one fused-executor cache per distinct image
+   (shared across domains through [Reports.Measure.decode_cached]).
+   Prints per-row and aggregate simulated MIPS plus the block-cache and
+   dispatch counters, and exits nonzero on any row failure or output
+   disagreement — the CI smoke for the fused path under parallelism. *)
+
+let batch () =
+  let t0 = Unix.gettimeofday () in
+  let rows = build_matrix false in
+  let wall = Unix.gettimeofday () -. t0 in
+  let failures = ref 0 and disagreements = ref 0 in
+  let total_insns = ref 0 and total_sim_s = ref 0. and nruns = ref 0 in
+  Printf.printf "%-10s %-12s %5s %10s %9s %6s\n" "program" "build" "runs"
+    "Minsns" "MIPS" "agree";
+  List.iter
+    (fun ((b : Workloads.Programs.benchmark), build, r) ->
+      match r with
+      | Error m ->
+          incr failures;
+          Printf.printf "%-10s %-12s FAILED: %s\n" b.name
+            (Workloads.Suite.build_name build) m
+      | Ok (r : Reports.Measure.result) ->
+          let walls =
+            r.Reports.Measure.std_wall_s
+            :: List.map
+                 (fun (run : Reports.Measure.run) -> run.Reports.Measure.wall_s)
+                 r.Reports.Measure.runs
+          in
+          let insns =
+            r.Reports.Measure.std_insns
+            + List.fold_left
+                (fun a (run : Reports.Measure.run) ->
+                  a + run.Reports.Measure.insns)
+                0 r.Reports.Measure.runs
+          in
+          let sim_s = List.fold_left ( +. ) 0. walls in
+          let mips =
+            if sim_s > 0. then float_of_int insns /. sim_s /. 1e6 else 0.
+          in
+          if not r.Reports.Measure.outputs_agree then incr disagreements;
+          total_insns := !total_insns + insns;
+          total_sim_s := !total_sim_s +. sim_s;
+          nruns := !nruns + List.length walls;
+          Printf.printf "%-10s %-12s %5d %10.1f %9.1f %6s\n"
+            r.Reports.Measure.bench
+            (Workloads.Suite.build_name build)
+            (List.length walls)
+            (float_of_int insns /. 1e6)
+            mips
+            (if r.Reports.Measure.outputs_agree then "yes" else "NO"))
+    rows;
+  let agg =
+    if !total_sim_s > 0. then float_of_int !total_insns /. !total_sim_s /. 1e6
+    else 0.
+  in
+  Printf.printf
+    "\n%d simulations, %.1f Minsns, %.1f s simulating (%.1f s wall): %.1f \
+     MIPS aggregate\n"
+    !nruns
+    (float_of_int !total_insns /. 1e6)
+    !total_sim_s wall agg;
+  let c = Machine.Blocks.counters () in
+  let fused, fallback = Machine.Cpu.dispatch_counts () in
+  Printf.printf
+    "block cache: %d hits, %d misses, %d executors fused; dispatch: %d \
+     fused, %d fallback runs\n"
+    c.Machine.Blocks.hits c.Machine.Blocks.misses c.Machine.Blocks.built fused
+    fallback;
+  if !failures > 0 || !disagreements > 0 then begin
+    Printf.eprintf "[bench] batch: %d failure(s), %d output disagreement(s)\n%!"
+      !failures !disagreements;
+    exit 1
+  end
 
 (* --- fuzz throughput: how fast the differential fuzzer burns cases --- *)
 
@@ -367,7 +468,8 @@ let check_report () =
 let compare_usage () =
   Printf.eprintf
     "usage: bench compare OLD.json NEW.json [--max-cycle-pct X]\n\
-    \        [--max-improvement-pts X] [--max-mips-pct X] [--max-relink-pct X]\n";
+    \        [--max-improvement-pts X] [--max-mips-pct X] [--min-mips X]\n\
+    \        [--max-relink-pct X]\n";
   exit 2
 
 let compare_reports args =
@@ -385,6 +487,10 @@ let compare_reports args =
     | "--max-mips-pct" :: v :: rest -> (
         match float_of_string_opt v with
         | Some x -> parse { t with Obs.Compare.max_mips_drop_pct = Some x } rest
+        | None -> compare_usage ())
+    | "--min-mips" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x -> parse { t with Obs.Compare.min_mips = Some x } rest
         | None -> compare_usage ())
     | "--max-relink-pct" :: v :: rest -> (
         match float_of_string_opt v with
@@ -467,6 +573,7 @@ let () =
   let cmd = match args with [] -> "all" | c :: _ -> c in
   match cmd with
   | "compare" -> compare_reports (List.tl args)
+  | "batch" -> batch ()
   | "micro" -> micro ()
   | "fuzz" -> fuzz_throughput ()
   | "ablation" -> ablation ()
@@ -485,7 +592,7 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown argument %s (expected fig3..fig7, gat, summary, quick, micro, \
-         fuzz, ablation, relink, check-report, compare, all)\n"
+        "unknown argument %s (expected fig3..fig7, gat, summary, quick, batch, \
+         micro, fuzz, ablation, relink, check-report, compare, all)\n"
         other;
       exit 2

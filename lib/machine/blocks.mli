@@ -1,0 +1,59 @@
+(** Trace superinstructions: the simulator's fused fast path.
+
+    A {!Decoded.t} image is carved lazily into traces: starting from an
+    entry PC, the fuser follows straight-line code, the not-taken
+    (fall-through) side of conditional branches, and statically-targeted
+    unconditional [br] — so loop bodies and branch-over diamonds fuse
+    into one superinstruction — stopping at jumps, calls, system calls,
+    PAL traps, the end of text, or {!max_block_len}. Each trace fuses
+    once into an array of per-step executor closures with kind dispatch,
+    register read/write slots, dual-issue pairing preconditions, I-cache
+    line crossings and retirement counters all resolved at fuse time;
+    taken conditional branches are side exits that fix the counters up
+    and leave the trace early. {!run} dispatches trace-to-trace through
+    the entry-indexed executor cache; a branch into the middle of a
+    fused trace just fuses a second, shorter executor at that entry —
+    which is what keeps fused execution bit-identical to
+    [Cpu.run_reference] (cycles, cache misses, output, exit codes, fault
+    kinds and fault payloads). [test_blocks], the differential tests and
+    the fuzzer's stats-agreement oracle enforce the equivalence.
+
+    Probe/trace instrumentation is deliberately not supported here;
+    [Cpu.run_decoded] falls back to the per-instruction loop when a hook
+    is present so [Obs.Attr] attribution stays exact. *)
+
+type t
+(** A decoded image plus its (lazily filled) per-entry executor cache.
+    Safe to share across domains: cache fills are racy but idempotent —
+    executors are pure functions of (decoded image, config). *)
+
+val max_block_len : int
+(** Upper bound on instructions fused into one trace (runs longer than
+    this split into chained fall-through traces). *)
+
+val create : ?config:State.config -> Decoded.t -> t
+
+val decoded : t -> Decoded.t
+val config : t -> State.config
+
+val run : t -> (State.outcome, State.error) result
+(** Boot a fresh machine and execute through the fused executors until
+    the exit system call, a fault, or the instruction limit. *)
+
+val block_len : t -> int -> int
+(** [block_len t idx] is the length of the trace entered at instruction
+    index [idx], fusing (and caching) it if needed.
+    @raise Invalid_argument when [idx] is outside the text. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of this image's executor cache: block dispatches
+    served by an already-fused executor vs dispatches that fused one. *)
+
+val executors_cached : t -> int
+(** Number of entry points with a fused executor currently cached. *)
+
+type counters = { hits : int; misses : int; built : int }
+
+val counters : unit -> counters
+(** Process-wide totals across every [t] (dispatch cache hits/misses and
+    executors built), for mirroring into the [Obs.Metrics] registry. *)

@@ -22,12 +22,15 @@ let create ~size_bytes ~line_bytes =
     hits = 0;
     misses = 0 }
 
+(* [idx] is masked by [index_mask], so it is always within [tags]:
+   the unsafe accesses keep the simulator's single hottest call free of
+   bounds checks. *)
 let access t addr =
   let line = addr lsr t.line_shift in
   let idx = line land t.index_mask in
-  if t.tags.(idx) = line then (t.hits <- t.hits + 1; true)
+  if Array.unsafe_get t.tags idx = line then (t.hits <- t.hits + 1; true)
   else begin
-    t.tags.(idx) <- line;
+    Array.unsafe_set t.tags idx line;
     t.misses <- t.misses + 1;
     false
   end

@@ -1,4 +1,13 @@
-type config = {
+(* The executing simulator's front door. The machine state and its
+   semantics live in {!State}; the fused block-superinstruction executor
+   lives in {!Blocks}. This module re-exports the public types, keeps the
+   per-instruction decoded loop ([run_decoded_unfused]) for trace/probe
+   instrumentation, routes plain runs to the fused path, and retains the
+   symbolic reference interpreter ([run_reference]) as the oracle. *)
+
+open State
+
+type config = State.config = {
   icache_bytes : int;
   dcache_bytes : int;
   line_bytes : int;
@@ -10,18 +19,9 @@ type config = {
   max_insns : int;
 }
 
-let default_config =
-  { icache_bytes = 8192;
-    dcache_bytes = 8192;
-    line_bytes = 32;
-    icache_miss_penalty = 8;
-    dcache_miss_penalty = 10;
-    branch_penalty = 1;
-    dual_issue = true;
-    heap_max = 1 lsl 24;
-    max_insns = 400_000_000 }
+let default_config = State.default_config
 
-type stats = {
+type stats = State.stats = {
   insns : int;
   cycles : int;
   loads : int;
@@ -31,13 +31,13 @@ type stats = {
   nops_executed : int;
 }
 
-type outcome = {
+type outcome = State.outcome = {
   exit_code : int64;
   output : string;
   stats : stats;
 }
 
-type error =
+type error = State.error =
   | Unaligned_access of int
   | Out_of_range_access of int
   | Undecodable of int
@@ -46,14 +46,7 @@ type error =
   | Heap_exhausted
   | Insn_limit_reached
 
-let pp_error ppf = function
-  | Unaligned_access a -> Format.fprintf ppf "unaligned access at %#x" a
-  | Out_of_range_access a -> Format.fprintf ppf "access out of range at %#x" a
-  | Undecodable a -> Format.fprintf ppf "undecodable instruction at %#x" a
-  | Bad_syscall v -> Format.fprintf ppf "unknown system call %Ld" v
-  | Unknown_pal c -> Format.fprintf ppf "unknown PALcode function %#x" c
-  | Heap_exhausted -> Format.fprintf ppf "heap exhausted"
-  | Insn_limit_reached -> Format.fprintf ppf "instruction limit reached"
+let pp_error = State.pp_error
 
 type probe_event = {
   ev_pc : int;
@@ -63,166 +56,19 @@ type probe_event = {
   ev_dcache_miss : bool;
 }
 
-exception Fault of error
-
 module R = Isa.Reg
 module I = Isa.Insn
 module D = Decoded
 
-type machine = {
-  cfg : config;
-  text_base : int;
-  data_base : int;
-  data : Bytes.t;              (* data region + heap *)
-  stack_base : int;
-  stack : Bytes.t;
-  regs : int64 array;
-  mutable brk : int;
-  heap_limit : int;
-  out : Buffer.t;
-  icache : Cache.t;
-  dcache : Cache.t;
-  ready : int array;           (* cycle at which each register is available *)
-  mutable ninsns : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable nops : int;
-}
+(* --- the per-instruction decoded path ---
 
-let create_machine config (image : Linker.Image.t) =
-  let data_len =
-    image.Linker.Image.heap_base - image.Linker.Image.data_base
-    + config.heap_max
-  in
-  let data = Bytes.make data_len '\000' in
-  Bytes.blit image.Linker.Image.data 0 data 0
-    (Bytes.length image.Linker.Image.data);
-  { cfg = config;
-    text_base = image.Linker.Image.text_base;
-    data_base = image.Linker.Image.data_base;
-    data;
-    stack_base = Linker.Layout.stack_top - Linker.Layout.stack_bytes;
-    stack = Bytes.make Linker.Layout.stack_bytes '\000';
-    regs = Array.make 32 0L;
-    brk = image.Linker.Image.heap_base;
-    heap_limit = image.Linker.Image.heap_base + config.heap_max - 16;
-    out = Buffer.create 256;
-    icache = Cache.create ~size_bytes:config.icache_bytes
-               ~line_bytes:config.line_bytes;
-    dcache = Cache.create ~size_bytes:config.dcache_bytes
-               ~line_bytes:config.line_bytes;
-    ready = Array.make 32 0;
-    ninsns = 0;
-    loads = 0;
-    stores = 0;
-    nops = 0 }
+   The pre-superinstruction interpreter over {!Decoded}: one
+   fetch/time/execute/writeback round per retired instruction. Kept as
+   the instrumentation path — [trace] and [probe] hooks fire here with
+   exact per-instruction attribution — and as a mid-fidelity rung for
+   the differential tests ([run_reference] is still the root oracle). *)
 
-(* Writes to register 31 are discarded, so [regs.(31)] stays 0 forever and
-   reads need no special case. *)
-let rget m r = m.regs.(r)
-let rset m r v = if r <> 31 then m.regs.(r) <- v
-
-let mem m addr =
-  (* returns (bytes, offset) *)
-  if addr >= m.data_base && addr < m.data_base + Bytes.length m.data then
-    (m.data, addr - m.data_base)
-  else if addr >= m.stack_base && addr < m.stack_base + Bytes.length m.stack
-  then (m.stack, addr - m.stack_base)
-  else raise (Fault (Out_of_range_access addr))
-
-let read64 m addr =
-  if addr land 7 <> 0 then raise (Fault (Unaligned_access addr));
-  let b, off = mem m addr in
-  Bytes.get_int64_le b off
-
-let write64 m addr v =
-  if addr land 7 <> 0 then raise (Fault (Unaligned_access addr));
-  let b, off = mem m addr in
-  Bytes.set_int64_le b off v
-
-let bool64 c = if c then 1L else 0L
-
-(* System calls; returns [Some code] when the program exits. *)
-let syscall m =
-  let v0 = rget m (R.to_int R.v0) in
-  let a0 = rget m (R.to_int R.a0) in
-  match v0 with
-  | 0L -> Some a0
-  | 1L ->
-      Buffer.add_string m.out (Int64.to_string a0);
-      None
-  | 2L ->
-      Buffer.add_char m.out (Char.chr (Int64.to_int a0 land 0xff));
-      None
-  | 3L ->
-      let rec go addr =
-        let q = read64 m (Int64.to_int addr) in
-        if not (Int64.equal q 0L) then begin
-          Buffer.add_char m.out (Char.chr (Int64.to_int q land 0xff));
-          go (Int64.add addr 8L)
-        end
-      in
-      go a0;
-      None
-  | 4L ->
-      let n = (Int64.to_int a0 + 15) land lnot 15 in
-      if m.brk + n > m.heap_limit then raise (Fault Heap_exhausted);
-      rset m (R.to_int R.v0) (Int64.of_int m.brk);
-      m.brk <- m.brk + n;
-      None
-  | v -> raise (Fault (Bad_syscall v))
-
-let boot m (image : Linker.Image.t) =
-  rset m (R.to_int R.sp) (Int64.of_int (Linker.Layout.stack_top - 64));
-  rset m (R.to_int R.pv) (Int64.of_int image.Linker.Image.entry)
-
-let outcome_of m ~last_issue ~exit_code =
-  { exit_code;
-    output = Buffer.contents m.out;
-    stats =
-      { insns = m.ninsns;
-        cycles = last_issue + 1;
-        loads = m.loads;
-        stores = m.stores;
-        icache_misses = Cache.misses m.icache;
-        dcache_misses = Cache.misses m.dcache;
-        nops_executed = m.nops } }
-
-(* --- bitmask iteration helpers (fast path) --- *)
-
-(* number-of-trailing-zeros of an isolated bit below 2^32, by de Bruijn
-   multiplication — the stdlib has no ctz intrinsic *)
-let ntz_table =
-  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
-     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
-
-let[@inline] ntz b = Array.unsafe_get ntz_table ((b * 0x077CB531 land 0xFFFFFFFF) lsr 27)
-
-(* max over [ready.(i)] for every bit [i] of [mask]; 0 on the empty mask *)
-let[@inline] max_ready ready mask =
-  if mask = 0 then 0
-  else begin
-    let acc = ref 0 and m = ref mask in
-    while !m <> 0 do
-      let b = !m land (- !m) in
-      let r = Array.unsafe_get ready (ntz b) in
-      if r > !acc then acc := r;
-      m := !m land (!m - 1)
-    done;
-    !acc
-  end
-
-let[@inline] set_ready ready mask t =
-  let m = ref mask in
-  while !m <> 0 do
-    let b = !m land (- !m) in
-    Array.unsafe_set ready (ntz b) t;
-    m := !m land (!m - 1)
-  done
-
-(* --- the pre-decoded fast path --- *)
-
-let run_decoded ?(config = default_config) ?trace ?probe (d : D.t) =
+let run_decoded_unfused ?(config = default_config) ?trace ?probe (d : D.t) =
   let image = d.D.image in
   let m = create_machine config image in
   boot m image;
@@ -399,6 +245,28 @@ let run_decoded ?(config = default_config) ?trace ?probe (d : D.t) =
      done;
      Ok (outcome_of m ~last_issue:!last_issue ~exit_code:(Option.get !finished))
    with Fault e -> Error e)
+
+(* --- dispatch between the fused and instrumentation paths --- *)
+
+let fused_runs = Atomic.make 0
+let fallback_runs = Atomic.make 0
+
+let dispatch_counts () = (Atomic.get fused_runs, Atomic.get fallback_runs)
+
+let run_decoded ?(config = default_config) ?trace ?probe ?blocks (d : D.t) =
+  match (trace, probe) with
+  | None, None ->
+      Atomic.incr fused_runs;
+      let b =
+        match blocks with
+        | Some b when Blocks.decoded b == d && Blocks.config b = config -> b
+        | _ -> Blocks.create ~config d
+      in
+      Blocks.run b
+  | _ ->
+      (* instrumented: per-instruction hooks need the unfused loop *)
+      Atomic.incr fallback_runs;
+      run_decoded_unfused ~config ?trace ?probe d
 
 let decode (image : Linker.Image.t) =
   match D.of_image image with

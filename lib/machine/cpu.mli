@@ -13,19 +13,22 @@
     System calls go through [call_pal 0x83] with the code in [v0]:
     0 exit, 1 put integer, 2 put character, 3 put quad-string, 4 sbrk.
 
-    Two interpreters implement the model:
-    - {!run_decoded} (and {!run}, which pre-decodes then delegates)
-      executes the {!Decoded} fast-path representation — precomputed
-      uses/defs register bitmasks, latencies, pipes and branch targets,
-      with no per-instruction list allocation;
-    - {!run_reference} is the original symbolic-form interpreter, kept as
+    Three interpreters implement the model, fastest first:
+    - the fused superinstruction path ({!Blocks}, reached through
+      {!run_decoded} when no [trace]/[probe] hook is given): basic blocks
+      of the {!Decoded} form compile once into per-block executor arrays
+      with dispatch, pairing preconditions and cache-line crossings
+      resolved at fuse time;
+    - {!run_decoded_unfused}, the per-instruction loop over {!Decoded} —
+      the instrumentation path ([trace]/[probe] fire here);
+    - {!run_reference}, the original symbolic-form interpreter, kept as
       the semantic oracle for differential testing.
 
-    Both produce identical outcomes (stats, output, exit code, faults) on
-    every image; the test suite enforces this across the benchmark
-    suite. *)
+    All three produce identical outcomes (stats, output, exit code,
+    faults — including fault PCs) on every image; the test suite and the
+    fuzzer enforce this. *)
 
-type config = {
+type config = State.config = {
   icache_bytes : int;
   dcache_bytes : int;
   line_bytes : int;
@@ -39,7 +42,7 @@ type config = {
 
 val default_config : config
 
-type stats = {
+type stats = State.stats = {
   insns : int;              (** instructions executed *)
   cycles : int;
   loads : int;
@@ -49,13 +52,13 @@ type stats = {
   nops_executed : int;
 }
 
-type outcome = {
+type outcome = State.outcome = {
   exit_code : int64;
   output : string;
   stats : stats;
 }
 
-type error =
+type error = State.error =
   | Unaligned_access of int
   | Out_of_range_access of int
   | Undecodable of int
@@ -86,13 +89,34 @@ val decode : Linker.Image.t -> (Decoded.t, error) result
 
 val run_decoded :
   ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
-  ?probe:(probe_event -> unit) -> Decoded.t ->
+  ?probe:(probe_event -> unit) -> ?blocks:Blocks.t -> Decoded.t ->
   (outcome, error) result
 (** Boot and run a pre-decoded image ([pc] and [pv] at the entry point,
-    [sp] near the stack top) until the exit system call. The no-[trace]/
-    no-[probe] path performs no per-instruction list allocation or
-    instruction-form dispatch. Repeated simulations of one image should
-    decode once with {!decode} and call this. *)
+    [sp] near the stack top) until the exit system call.
+
+    With neither [trace] nor [probe], execution goes through the fused
+    block-superinstruction path: pass [blocks] (from {!Blocks.create} on
+    the same decoded image and config) to reuse fused executors across
+    runs — the big win for repeated simulation; without it a transient
+    executor cache is built for the run. When a [trace] or [probe] hook
+    is present the call transparently falls back to
+    {!run_decoded_unfused} so per-instruction attribution stays exact.
+    A [blocks] whose decoded image or config does not match is ignored
+    (a fresh cache is used) rather than trusted. *)
+
+val run_decoded_unfused :
+  ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
+  ?probe:(probe_event -> unit) -> Decoded.t ->
+  (outcome, error) result
+(** The per-instruction interpreter over {!Decoded}: no block fusion,
+    no per-instruction allocation. The instrumentation path behind
+    [trace]/[probe], exposed directly for benchmarking the fused path's
+    speedup and for differential tests. *)
+
+val dispatch_counts : unit -> int * int
+(** [(fused, fallback)] — process-wide counts of {!run_decoded} calls
+    that took the fused path vs fell back to the unfused loop for
+    instrumentation. Mirrored into [Obs.Metrics] by [Reports.Measure]. *)
 
 val run :
   ?config:config -> ?trace:(pc:int -> Isa.Insn.t -> unit) ->
@@ -111,4 +135,4 @@ val run_reference :
 (** The retained symbolic-form interpreter (re-derives uses/defs/pipe/
     latency from {!Isa.Insn} per retired instruction). Semantically
     identical to {!run}; exists as the oracle for differential tests and
-    for measuring the fast path's speedup. *)
+    for measuring the fast paths' speedup. *)

@@ -11,6 +11,7 @@ type thresholds = {
   max_cycle_regress_pct : float;
   max_improvement_drop_pts : float;
   max_mips_drop_pct : float option;
+  min_mips : float option;
   max_relink_regress_pct : float option;
 }
 
@@ -18,6 +19,7 @@ let default_thresholds =
   { max_cycle_regress_pct = 0.5;
     max_improvement_drop_pts = 1.0;
     max_mips_drop_pct = None;
+    min_mips = None;
     max_relink_regress_pct = None }
 
 type finding = {
@@ -81,6 +83,21 @@ let compare_mips subject t acc ~old_m ~new_m =
     | None ->
         if worse > 10. then { acc with warnings = f :: acc.warnings } else acc
 
+(* mips floor: an absolute lower bound on the NEW report's throughput,
+   independent of the old report — the gate against the fast path
+   silently degenerating to interpreter speed. [old_value] carries the
+   floor itself so the finding prints as "floor -> measured". *)
+let check_mips_floor subject t acc ~new_m =
+  match t.min_mips with
+  | Some floor when new_m > 0. && new_m < floor ->
+      let worse = pct_change ~old_v:floor ~new_v:new_m in
+      let f =
+        finding subject "mips_floor" ~old_v:floor ~new_v:new_m
+          ~worse_pct:(-.worse)
+      in
+      { acc with regressions = f :: acc.regressions }
+  | _ -> acc
+
 (* relink cold/warm seconds: higher is worse; warn unless a threshold
    was given *)
 let compare_relink subject t acc name ~old_s ~new_s =
@@ -102,10 +119,15 @@ let compare_run subject t acc (o : Report.run) (n : Report.run) =
     compare_improvement subject t acc ~old_i:o.Report.improvement_pct
       ~new_i:n.Report.improvement_pct
   in
-  match (o.Report.host, n.Report.host) with
-  | Some oh, Some nh ->
-      compare_mips subject t acc ~old_m:oh.Report.mips ~new_m:nh.Report.mips
-  | _ -> acc
+  let acc =
+    match (o.Report.host, n.Report.host) with
+    | Some oh, Some nh ->
+        compare_mips subject t acc ~old_m:oh.Report.mips ~new_m:nh.Report.mips
+    | _ -> acc
+  in
+  match n.Report.host with
+  | Some nh -> check_mips_floor subject t acc ~new_m:nh.Report.mips
+  | None -> acc
 
 let compare_bench t acc (o : Report.bench) (n : Report.bench) =
   let subject = subject_of o in
@@ -119,6 +141,12 @@ let compare_bench t acc (o : Report.bench) (n : Report.bench) =
         compare_mips (subject ^ " std") t acc ~old_m:oh.Report.mips
           ~new_m:nh.Report.mips
     | _ -> acc
+  in
+  let acc =
+    match n.Report.std_host with
+    | Some nh ->
+        check_mips_floor (subject ^ " std") t acc ~new_m:nh.Report.mips
+    | None -> acc
   in
   let acc =
     match (o.Report.relink, n.Report.relink) with

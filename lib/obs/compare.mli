@@ -15,12 +15,18 @@ type thresholds = {
       (** max tolerated drop in improvement_pct, in points *)
   max_mips_drop_pct : float option;
       (** gate MIPS drops when set; warn-only when [None] *)
+  min_mips : float option;
+      (** absolute floor on every host-MIPS figure in the NEW report
+          (std and per-level), independent of the old report — the hard
+          gate against the fused path silently degenerating to
+          interpreter speed. Off when [None]. *)
   max_relink_regress_pct : float option;
       (** gate relink cold/warm growth when set; warn-only when [None] *)
 }
 
 val default_thresholds : thresholds
-(** cycles 0.5%, improvement 1.0 pts, MIPS and relink warn-only. *)
+(** cycles 0.5%, improvement 1.0 pts, MIPS and relink warn-only, no
+    MIPS floor. *)
 
 type finding = {
   subject : string;    (** e.g. ["fib/compile-each om-full"] *)

@@ -30,10 +30,14 @@ type result = {
 }
 
 val decode_cached :
-  Linker.Image.t -> (Machine.Decoded.t, Machine.Cpu.error) Stdlib.result
-(** Pre-decode an image for {!Machine.Cpu.run_decoded}, memoized so
-    suite/profile/bench runs never decode the same image twice. Safe to
-    call from multiple domains concurrently. *)
+  Linker.Image.t ->
+  (Machine.Decoded.t * Machine.Blocks.t, Machine.Cpu.error) Stdlib.result
+(** Pre-decode an image for {!Machine.Cpu.run_decoded}, memoized (with
+    its fused-executor cache) by the image's content digest so
+    suite/profile/bench runs never decode the same image twice — and
+    never re-fuse a block superinstruction already fused for it. Safe to
+    call from multiple domains concurrently; the returned [Blocks.t] may
+    be shared across domains. *)
 
 val run_benchmark :
   ?levels:Om.level list -> Workloads.Suite.build -> Workloads.Programs.benchmark ->

@@ -3,7 +3,7 @@
 let profile_buckets image =
   match Measure.decode_cached image with
   | Error _ -> None
-  | Ok d -> (
+  | Ok (d, _blocks) -> (
       match Obs.Attr.run_decoded d with
       | Ok p -> Some (Obs.Report.attribution_of_profile p)
       | Error _ -> None)
