@@ -110,6 +110,7 @@ let micro () =
       Test.make ~name:"fig3/om-simple-pass" (Staged.stage (om Om.Simple));
       Test.make ~name:"fig4/om-full-pass" (Staged.stage (om Om.Full));
       Test.make ~name:"fig5/om-full-sched-pass" (Staged.stage (om Om.Full_sched));
+      Test.make ~name:"gc/om-gc-pass" (Staged.stage (om Om.Gc));
       (* Figure 6 requires simulating the linked program: the fused
          superinstruction path (what the harness runs), the unfused
          per-instruction loop, and the symbolic reference *)
@@ -420,7 +421,7 @@ let write_report quick =
     (List.length report.Obs.Report.results)
 
 (* smoke check: does the written report parse back through the schema
-   reader, and does it carry the v4 payload? (CI runs this after
+   reader, and does it carry the v5 payload? (CI runs this after
    "quick".) *)
 let check_report () =
   match Obs.Report.read report_path with
@@ -434,6 +435,15 @@ let check_report () =
                  b.Obs.Report.runs)
           r.Obs.Report.results
       in
+      let sized =
+        List.for_all
+          (fun (b : Obs.Report.bench) ->
+            b.Obs.Report.std_size <> None
+            && List.for_all
+                 (fun (run : Obs.Report.run) -> run.Obs.Report.size <> None)
+                 b.Obs.Report.runs)
+          r.Obs.Report.results
+      in
       let quantiled =
         match r.Obs.Report.latency with
         | Some q -> q.Obs.Report.q_count > 0
@@ -442,18 +452,19 @@ let check_report () =
       let has_metrics = r.Obs.Report.metrics <> None in
       Printf.printf
         "%s: OK (schema v%d, %d results, host throughput %s, latency \
-         quantiles %s, metrics snapshot %s)\n"
+         quantiles %s, metrics snapshot %s, image sizes %s)\n"
         report_path r.Obs.Report.version
         (List.length r.Obs.Report.results)
         (if hosted then "present" else "MISSING")
         (if quantiled then "present" else "MISSING")
-        (if has_metrics then "present" else "MISSING");
-      if r.Obs.Report.version < 4 then begin
-        Printf.eprintf "%s: expected schema v4, found v%d\n" report_path
+        (if has_metrics then "present" else "MISSING")
+        (if sized then "present" else "MISSING");
+      if r.Obs.Report.version < 5 then begin
+        Printf.eprintf "%s: expected schema v5, found v%d\n" report_path
           r.Obs.Report.version;
         exit 1
       end;
-      if not (hosted && quantiled && has_metrics) then exit 1
+      if not (hosted && quantiled && has_metrics && sized) then exit 1
   | Error m ->
       Printf.eprintf "%s: FAILED to parse: %s\n" report_path m;
       exit 1
@@ -469,7 +480,7 @@ let compare_usage () =
   Printf.eprintf
     "usage: bench compare OLD.json NEW.json [--max-cycle-pct X]\n\
     \        [--max-improvement-pts X] [--max-mips-pct X] [--min-mips X]\n\
-    \        [--max-relink-pct X]\n";
+    \        [--max-relink-pct X] [--max-size-pct X]\n";
   exit 2
 
 let compare_reports args =
@@ -496,6 +507,10 @@ let compare_reports args =
         match float_of_string_opt v with
         | Some x ->
             parse { t with Obs.Compare.max_relink_regress_pct = Some x } rest
+        | None -> compare_usage ())
+    | "--max-size-pct" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x -> parse { t with Obs.Compare.max_size_regress_pct = x } rest
         | None -> compare_usage ())
     | _ -> compare_usage ()
   in

@@ -53,11 +53,10 @@ let load_units files =
 let level_conv =
   let parse = function
     | "std" -> Ok `Std
-    | "noopt" -> Ok (`Om Om.No_opt)
-    | "simple" -> Ok (`Om Om.Simple)
-    | "full" -> Ok (`Om Om.Full)
-    | "sched" | "full+sched" -> Ok (`Om Om.Full_sched)
-    | s -> Error (`Msg (Printf.sprintf "unknown level %S" s))
+    | s -> (
+        match Om.level_of_string s with
+        | Some l -> Ok (`Om l)
+        | None -> Error (`Msg (Printf.sprintf "unknown level %S" s)))
   in
   let print ppf = function
     | `Std -> Format.pp_print_string ppf "std"
@@ -73,7 +72,7 @@ let level_arg =
     value
     & opt level_conv (`Om Om.Full)
     & info [ "l"; "level" ] ~docv:"LEVEL"
-        ~doc:"Link level: std, noopt, simple, full, sched.")
+        ~doc:"Link level: std, noopt, simple, full, sched, gc.")
 
 (* --- pass tracing (shared by run/stats/profile) --- *)
 
@@ -282,7 +281,13 @@ let stats_cmd =
                   counters = Om.Stats.to_alist stats;
                   attribution = None;
                   fault;
-                  host = None }
+                  host = None;
+                  size =
+                    Some
+                      { Obs.Report.text_bytes =
+                          Bytes.length image.Linker.Image.text;
+                        data_bytes = Bytes.length image.Linker.Image.data;
+                        gat_bytes = image.Linker.Image.gat_bytes } }
             | Error m ->
                 { Obs.Report.level = Om.level_name level;
                   cycles = 0;
@@ -291,7 +296,8 @@ let stats_cmd =
                   counters = [];
                   attribution = None;
                   fault = Some m;
-                  host = None })
+                  host = None;
+                  size = None })
           levels
       in
       let report =
@@ -305,7 +311,12 @@ let stats_cmd =
               outputs_agree = true;
               runs;
               std_host = None;
-              relink = None } ]
+              relink = None;
+              std_size =
+                Some
+                  { Obs.Report.text_bytes = Bytes.length std.Linker.Image.text;
+                    data_bytes = Bytes.length std.Linker.Image.data;
+                    gat_bytes = std.Linker.Image.gat_bytes } } ]
       in
       print_endline (Obs.Json.to_string (Obs.Report.to_json report));
       Ok ()
@@ -746,7 +757,7 @@ let client_link_cmd =
   let level =
     Arg.(value & opt string "full"
          & info [ "l"; "level" ] ~docv:"LEVEL"
-             ~doc:"Link level: std, noopt, simple, full, sched.")
+             ~doc:"Link level: std, noopt, simple, full, sched, gc.")
   in
   let entry =
     Arg.(value & opt (some string) None

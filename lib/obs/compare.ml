@@ -13,6 +13,7 @@ type thresholds = {
   max_mips_drop_pct : float option;
   min_mips : float option;
   max_relink_regress_pct : float option;
+  max_size_regress_pct : float;
 }
 
 let default_thresholds =
@@ -20,7 +21,8 @@ let default_thresholds =
     max_improvement_drop_pts = 1.0;
     max_mips_drop_pct = None;
     min_mips = None;
-    max_relink_regress_pct = None }
+    max_relink_regress_pct = None;
+    max_size_regress_pct = 0.5 }
 
 type finding = {
   subject : string;   (* "bench/build level" or similar *)
@@ -69,6 +71,27 @@ let compare_improvement subject t acc ~old_i ~new_i =
     { acc with regressions = f :: acc.regressions }
   else if drop < 0. then { acc with improvements = f :: acc.improvements }
   else acc
+
+(* image sizes: byte counts are deterministic for a given tree, so they
+   gate hard like cycles; each component gets its own finding *)
+let compare_size subject t acc ~old_s ~new_s =
+  match (old_s, new_s) with
+  | Some (o : Report.size), Some (n : Report.size) ->
+      List.fold_left
+        (fun acc (metric, old_b, new_b) ->
+          let old_v = float_of_int old_b and new_v = float_of_int new_b in
+          let worse = pct_change ~old_v ~new_v in
+          let f = finding subject metric ~old_v ~new_v ~worse_pct:worse in
+          if worse > t.max_size_regress_pct then
+            { acc with regressions = f :: acc.regressions }
+          else if worse < 0. then
+            { acc with improvements = f :: acc.improvements }
+          else acc)
+        acc
+        [ ("text_bytes", o.Report.text_bytes, n.Report.text_bytes);
+          ("data_bytes", o.Report.data_bytes, n.Report.data_bytes);
+          ("gat_bytes", o.Report.gat_bytes, n.Report.gat_bytes) ]
+  | _ -> acc
 
 (* mips: lower is worse; warn unless a threshold was given *)
 let compare_mips subject t acc ~old_m ~new_m =
@@ -120,6 +143,9 @@ let compare_run subject t acc (o : Report.run) (n : Report.run) =
       ~new_i:n.Report.improvement_pct
   in
   let acc =
+    compare_size subject t acc ~old_s:o.Report.size ~new_s:n.Report.size
+  in
+  let acc =
     match (o.Report.host, n.Report.host) with
     | Some oh, Some nh ->
         compare_mips subject t acc ~old_m:oh.Report.mips ~new_m:nh.Report.mips
@@ -134,6 +160,10 @@ let compare_bench t acc (o : Report.bench) (n : Report.bench) =
   let acc =
     compare_cycles (subject ^ " std") t acc ~old_c:o.Report.std_cycles
       ~new_c:n.Report.std_cycles
+  in
+  let acc =
+    compare_size (subject ^ " std") t acc ~old_s:o.Report.std_size
+      ~new_s:n.Report.std_size
   in
   let acc =
     match (o.Report.std_host, n.Report.std_host) with

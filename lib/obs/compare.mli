@@ -22,11 +22,16 @@ type thresholds = {
           interpreter speed. Off when [None]. *)
   max_relink_regress_pct : float option;
       (** gate relink cold/warm growth when set; warn-only when [None] *)
+  max_size_regress_pct : float;
+      (** max tolerated growth in any of text/data/GAT bytes, percent.
+          Byte counts are deterministic, so this gates hard — the guard
+          for the om-gc size story. Runs or benches without size data
+          (pre-v5 reports) are skipped. *)
 }
 
 val default_thresholds : thresholds
-(** cycles 0.5%, improvement 1.0 pts, MIPS and relink warn-only, no
-    MIPS floor. *)
+(** cycles 0.5%, improvement 1.0 pts, size 0.5%, MIPS and relink
+    warn-only, no MIPS floor. *)
 
 type finding = {
   subject : string;    (** e.g. ["fib/compile-each om-full"] *)

@@ -2,11 +2,13 @@
    ([host] on each run, [std_host] on each bench); v3 adds the optional
    [relink] field on each bench (cold vs warm link-service timings); v4
    adds the optional top-level [latency] quantiles and a [metrics]
-   registry snapshot. The reader accepts every version, mapping absent
-   fields to [None]. *)
-let schema_version = 4
+   registry snapshot; v5 adds the optional per-image size breakdown
+   ([size] on each run, [std_size] on each bench) so the om-gc size story
+   is measurable per level. The reader accepts every version, mapping
+   absent fields to [None]. *)
+let schema_version = 5
 
-let accepted_versions = [ 1; 2; 3; 4 ]
+let accepted_versions = [ 1; 2; 3; 4; 5 ]
 
 type bucket = { insns : int; cycles : int }
 type attribution = (string * bucket) list
@@ -14,6 +16,8 @@ type attribution = (string * bucket) list
 type host = { wall_s : float; mips : float }
 
 type relink = { cold_s : float; warm_s : float }
+
+type size = { text_bytes : int; data_bytes : int; gat_bytes : int }
 
 type run = {
   level : string;
@@ -24,6 +28,7 @@ type run = {
   attribution : attribution option;
   fault : string option;
   host : host option;
+  size : size option;
 }
 
 type bench = {
@@ -37,6 +42,7 @@ type bench = {
   runs : run list;
   std_host : host option;
   relink : relink option;
+  std_size : size option;
 }
 
 type quantiles = {
@@ -93,6 +99,14 @@ let host_json = function
       Json.Obj
         [ ("wall_s", Json.Float h.wall_s); ("mips", Json.Float h.mips) ]
 
+let size_json = function
+  | None -> Json.Null
+  | Some s ->
+      Json.Obj
+        [ ("text_bytes", Json.Int s.text_bytes);
+          ("data_bytes", Json.Int s.data_bytes);
+          ("gat_bytes", Json.Int s.gat_bytes) ]
+
 let run_json r =
   Json.Obj
     [ ("level", Json.String r.level);
@@ -102,7 +116,8 @@ let run_json r =
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
       ("attribution", attribution_json r.attribution);
       ("fault", opt_string r.fault);
-      ("host", host_json r.host) ]
+      ("host", host_json r.host);
+      ("size", size_json r.size) ]
 
 let bench_json b =
   Json.Obj
@@ -115,7 +130,8 @@ let bench_json b =
       ("outputs_agree", Json.Bool b.outputs_agree);
       ("runs", Json.List (List.map run_json b.runs));
       ("std_host", host_json b.std_host);
-      ("relink", relink_json b.relink) ]
+      ("relink", relink_json b.relink);
+      ("std_size", size_json b.std_size) ]
 
 let quantiles_json = function
   | None -> Json.Null
@@ -196,6 +212,16 @@ let host_of_json name j =
       let* mips = field "mips" Json.get_float v in
       Ok (Some { wall_s; mips })
 
+(* Absent before v5, so a missing field is [None], not an error. *)
+let size_of_json name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+      let* text_bytes = field "text_bytes" Json.get_int v in
+      let* data_bytes = field "data_bytes" Json.get_int v in
+      let* gat_bytes = field "gat_bytes" Json.get_int v in
+      Ok (Some { text_bytes; data_bytes; gat_bytes })
+
 (* Absent before v3, so a missing field is [None], not an error. *)
 let relink_of_json j =
   match Json.member "relink" j with
@@ -214,7 +240,17 @@ let run_of_json j =
   let* attribution = attribution_of_json "attribution" j in
   let* fault = opt_string_of j "fault" in
   let* host = host_of_json "host" j in
-  Ok { level; cycles; insns; improvement_pct; counters; attribution; fault; host }
+  let* size = size_of_json "size" j in
+  Ok
+    { level;
+      cycles;
+      insns;
+      improvement_pct;
+      counters;
+      attribution;
+      fault;
+      host;
+      size }
 
 let bench_of_json j =
   let* bench = field "bench" Json.get_string j in
@@ -235,6 +271,7 @@ let bench_of_json j =
   in
   let* std_host = host_of_json "std_host" j in
   let* relink = relink_of_json j in
+  let* std_size = size_of_json "std_size" j in
   Ok
     { bench;
       build;
@@ -245,7 +282,8 @@ let bench_of_json j =
       outputs_agree;
       runs = List.rev runs;
       std_host;
-      relink }
+      relink;
+      std_size }
 
 (* Absent before v4, so a missing field is [None], not an error. *)
 let quantiles_of_json j =

@@ -15,11 +15,14 @@
     added the optional cold-vs-warm link-service timings ([relink]);
     version 4 added the optional top-level [latency] quantiles (pool
     task latency over the whole matrix) and [metrics], a full
-    {!Metrics.to_json} registry snapshot. The reader still accepts
-    earlier documents, surfacing those fields as [None]. *)
+    {!Metrics.to_json} registry snapshot; version 5 added the optional
+    per-image size breakdown ([size] on each run, [std_size] on each
+    bench) so per-level text/data/GAT byte counts — the om-gc size
+    story — live in the same document as the cycle counts. The reader
+    still accepts earlier documents, surfacing those fields as [None]. *)
 
 val schema_version : int
-(** The version {!make} stamps on new reports (currently 4). *)
+(** The version {!make} stamps on new reports (currently 5). *)
 
 val accepted_versions : int list
 (** The versions {!of_json} understands. *)
@@ -38,6 +41,13 @@ type relink = { cold_s : float; warm_s : float }
     artifact store) vs a warm incremental relink after a one-module
     edit (cached lifts for every unchanged module). *)
 
+type size = { text_bytes : int; data_bytes : int; gat_bytes : int }
+(** Static image size: text segment bytes, data segment bytes (including
+    the zero-filled tail), and the linked GAT's extent (a sub-range of
+    data, counted separately because GAT reduction is the paper's
+    headline size effect). Measured identically for standard and
+    optimized links. *)
+
 type run = {
   level : string;            (** {!Om.level_name}, e.g. ["om-full"] *)
   cycles : int;
@@ -47,6 +57,7 @@ type run = {
   attribution : attribution option;
   fault : string option;     (** simulation fault, when the run died *)
   host : host option;        (** absent in v1 documents *)
+  size : size option;        (** absent before v5 *)
 }
 
 type bench = {
@@ -60,6 +71,7 @@ type bench = {
   runs : run list;
   std_host : host option;    (** absent in v1 documents *)
   relink : relink option;    (** absent before v3 *)
+  std_size : size option;    (** absent before v5 *)
 }
 
 type quantiles = {

@@ -81,7 +81,8 @@ let eff_defs_uses ~same_proc_label (n : S.node) =
 let exit_mask =
   mask_of R.[ v0; sp; gp; s0; s1; s2; s3; s4; s5; fp ]
 
-let run ?(local_only = false) (program : S.program) =
+let run ?(local_only = false) ?(section_live = fun _ _ -> true)
+    (program : S.program) =
   let world = program.S.world in
   (* label homes *)
   let label_home = Hashtbl.create 256 in
@@ -345,7 +346,10 @@ let run ?(local_only = false) (program : S.program) =
       List.iter
         (fun (r : Objfile.Reloc.t) ->
           match r.kind with
-          | Objfile.Reloc.Refquad { symbol; _ } -> (
+          (* a reference from GC'd data is no escape: the PV can still be
+             devirtualized and its prologue setup deleted *)
+          | Objfile.Reloc.Refquad { symbol; _ }
+            when section_live m r.section -> (
               match Linker.Resolve.resolve world m symbol with
               | Some (Linker.Resolve.Tproc p) -> address_taken.(p) <- true
               | _ -> ())

@@ -46,8 +46,17 @@ type t = {
 }
 
 val reg_bit : Isa.Reg.t -> int
-val run : ?local_only:bool -> Symbolic.program -> t
+
+val run :
+  ?local_only:bool ->
+  ?section_live:(int -> Objfile.Section.t -> bool) ->
+  Symbolic.program -> t
 (** [local_only:true] restricts the use-chain analysis to what a
     traditional linker could see (OM-simple): a load whose register is not
     provably dead {e within its basic block} escapes. The default uses
-    liveness across the recovered control-flow graph (OM-full). *)
+    liveness across the recovered control-flow graph (OM-full).
+
+    [section_live] (default: everything) filters the data relocations
+    that feed [address_taken]: om-gc passes {!Gc.section_live} so a
+    procedure address held only by dead data no longer counts as
+    escaping. *)

@@ -1,5 +1,13 @@
 module L = Linker.Layout
 
+type liveness = {
+  live_section : int -> Objfile.Section.t -> bool;
+  live_target : Linker.Resolve.target -> bool;
+}
+
+let all_live =
+  { live_section = (fun _ _ -> true); live_target = (fun _ -> true) }
+
 type plan = {
   group_of_module : int array;
   ngroups : int;
@@ -12,10 +20,11 @@ type plan = {
   bss_off : int array;
   common_off : (string * int) list;
   data_total : int;
+  live : liveness;
 }
 
-let plan (world : Linker.Resolve.t) ~group_of_module ~ngroups ~group_gat_bytes
-    =
+let plan ?(live = all_live) (world : Linker.Resolve.t) ~group_of_module
+    ~ngroups ~group_gat_bytes =
   let nmods = Array.length world.Linker.Resolve.modules in
   assert (Array.length group_of_module = nmods);
   assert (Array.length group_gat_bytes = ngroups);
@@ -26,11 +35,15 @@ let plan (world : Linker.Resolve.t) ~group_of_module ~ngroups ~group_gat_bytes
     group_gat_off.(g) <- !cursor;
     cursor := !cursor + group_gat_bytes.(g)
   done;
-  let place (per_module : int array) size_of =
+  (* dead sections get no space; the survivors renumber automatically
+     because every downstream reference goes through these offsets *)
+  let place section (per_module : int array) size_of =
     cursor := L.align !cursor L.section_alignment;
     Array.iteri
       (fun m u ->
-        let sz = L.align (size_of u) 8 in
+        let sz =
+          if live.live_section m section then L.align (size_of u) 8 else 0
+        in
         per_module.(m) <- !cursor;
         cursor := !cursor + sz)
       world.Linker.Resolve.modules
@@ -39,14 +52,19 @@ let plan (world : Linker.Resolve.t) ~group_of_module ~ngroups ~group_gat_bytes
   let sdata_off = Array.make nmods 0 in
   let sbss_off = Array.make nmods 0 in
   let bss_off = Array.make nmods 0 in
-  place sdata_off (fun u -> Bytes.length u.Objfile.Cunit.sdata);
-  (* commons, smallest first, right after the small data *)
+  place Objfile.Section.Sdata sdata_off (fun u ->
+      Bytes.length u.Objfile.Cunit.sdata);
+  (* commons, smallest first, right after the small data; dead ones are
+     dropped outright *)
   let commons =
     Array.to_list world.Linker.Resolve.objs
-    |> List.filter_map (fun (o : Linker.Resolve.obj_rec) ->
+    |> List.mapi (fun i o -> (i, o))
+    |> List.filter_map (fun (i, (o : Linker.Resolve.obj_rec)) ->
            match o.o_placement with
-           | Linker.Resolve.Common -> Some (o.o_name, o.o_size)
-           | Linker.Resolve.In_section _ -> None)
+           | Linker.Resolve.Common
+             when live.live_target (Linker.Resolve.Tobj i) ->
+               Some (o.o_name, o.o_size)
+           | _ -> None)
     |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
   in
   let common_off =
@@ -57,9 +75,10 @@ let plan (world : Linker.Resolve.t) ~group_of_module ~ngroups ~group_gat_bytes
         (name, off))
       commons
   in
-  place sbss_off (fun u -> u.Objfile.Cunit.sbss_size);
-  place data_off (fun u -> Bytes.length u.Objfile.Cunit.data);
-  place bss_off (fun u -> u.Objfile.Cunit.bss_size);
+  place Objfile.Section.Sbss sbss_off (fun u -> u.Objfile.Cunit.sbss_size);
+  place Objfile.Section.Data data_off (fun u ->
+      Bytes.length u.Objfile.Cunit.data);
+  place Objfile.Section.Bss bss_off (fun u -> u.Objfile.Cunit.bss_size);
   let gp_of_group =
     Array.map (fun off -> L.data_base + off + L.gp_window_offset) group_gat_off
   in
@@ -73,7 +92,8 @@ let plan (world : Linker.Resolve.t) ~group_of_module ~ngroups ~group_gat_bytes
     sbss_off;
     bss_off;
     common_off;
-    data_total = L.align !cursor 16 }
+    data_total = L.align !cursor 16;
+    live }
 
 let section_off plan m = function
   | Objfile.Section.Data -> plan.data_off.(m)

@@ -13,6 +13,19 @@
       to the entries that must survive, which pulls far more data inside
       the window. *)
 
+type liveness = {
+  live_section : int -> Objfile.Section.t -> bool;
+      (** per (module, section); [Text]/[Gat] queries must return true *)
+  live_target : Linker.Resolve.target -> bool;
+}
+(** What {!Gc} found reachable. Dead sections are assigned no space (the
+    survivors renumber and relocate automatically), dead commons are
+    dropped from the layout, and {!Lower} skips dead bytes, relocations
+    and symbols. *)
+
+val all_live : liveness
+(** Everything live — the behaviour of every level below om-gc. *)
+
 type plan = {
   group_of_module : int array;
   ngroups : int;
@@ -24,15 +37,16 @@ type plan = {
   sdata_off : int array;
   sbss_off : int array;
   bss_off : int array;
-  common_off : (string * int) list;
+  common_off : (string * int) list;  (** live commons only *)
   data_total : int;
+  live : liveness;               (** carried through to {!Lower} *)
 }
 
 val plan :
-  Linker.Resolve.t -> group_of_module:int array -> ngroups:int ->
-  group_gat_bytes:int array -> plan
+  ?live:liveness -> Linker.Resolve.t -> group_of_module:int array ->
+  ngroups:int -> group_gat_bytes:int array -> plan
 (** Region order: GAT groups, [.sdata], sorted commons, [.sbss], [.data],
-    [.bss]. *)
+    [.bss]. [live] defaults to {!all_live}. *)
 
 val address_of : Linker.Resolve.t -> plan -> Linker.Resolve.target -> int
 

@@ -1,0 +1,174 @@
+(* Link-time garbage collection (the om-gc level).
+
+   Working over the lifted symbolic program — before layout, so every
+   freed GAT slot and data section shrinks the final table — this pass
+   computes a whole-program liveness fixpoint over three domains:
+
+   - procedures (world indices), reached through the call graph: direct
+     branches/bsrs, GAT-mediated jsr sites, and procedure addresses
+     loaded from the pool or referenced from live data;
+   - named data objects, reached through pool keys, GP-relative operands
+     and relocations in live data;
+   - per-module data sections, at section granularity: a section is live
+     as soon as one object homed in it is (code may address a neighbour
+     through a symbol plus addend, so individual objects are never carved
+     out of a surviving section).
+
+   The root is the entry procedure. Unreached procedures are deleted from
+   the program outright; dead sections and commons are reported to
+   {!Datalayout} (which assigns them no space, renumbering the survivors)
+   and to {!Lower} (which skips their bytes, relocations and symbols).
+   The world itself is never mutated — it is shared across levels. *)
+
+module S = Symbolic
+
+type t = {
+  live_proc : bool array;
+  live_obj : bool array;
+  live_sec : bool array array;
+  procs_deleted : int;
+  insns_deleted : int;
+  data_bytes_deleted : int;
+}
+
+(* data sections only; text and the GAT are managed elsewhere *)
+let sec_id = function
+  | Objfile.Section.Data -> Some 0
+  | Objfile.Section.Sdata -> Some 1
+  | Objfile.Section.Sbss -> Some 2
+  | Objfile.Section.Bss -> Some 3
+  | Objfile.Section.Text | Objfile.Section.Gat -> None
+
+let section_live t m s =
+  match sec_id s with Some i -> t.live_sec.(m).(i) | None -> true
+
+let liveness t =
+  { Datalayout.live_section = section_live t;
+    live_target =
+      (function
+      | Linker.Resolve.Tproc p -> t.live_proc.(p)
+      | Linker.Resolve.Tobj o -> t.live_obj.(o)) }
+
+let run (program : S.program) =
+  let world = program.S.world in
+  let nprocs = Array.length world.Linker.Resolve.procs in
+  let nobjs = Array.length world.Linker.Resolve.objs in
+  let nmods = Array.length world.Linker.Resolve.modules in
+  let live_proc = Array.make nprocs false in
+  let live_obj = Array.make nobjs false in
+  let live_sec = Array.make_matrix nmods 4 false in
+  let sym_of_world = Hashtbl.create (Array.length program.S.procs) in
+  Array.iter
+    (fun (proc : S.proc) -> Hashtbl.replace sym_of_world proc.S.sp_index proc)
+    program.S.procs;
+  (* a branch target identifies its home procedure *)
+  let home_of_label = Hashtbl.create 1024 in
+  Array.iter
+    (fun (proc : S.proc) ->
+      List.iter
+        (fun (n : S.node) ->
+          List.iter
+            (fun l -> Hashtbl.replace home_of_label l proc.S.sp_index)
+            n.S.labels)
+        proc.S.body)
+    program.S.procs;
+  let work = Queue.create () in
+  let mark_target = function
+    | Linker.Resolve.Tproc p ->
+        if not live_proc.(p) then begin
+          live_proc.(p) <- true;
+          Queue.add (`Proc p) work
+        end
+    | Linker.Resolve.Tobj o ->
+        if not live_obj.(o) then begin
+          live_obj.(o) <- true;
+          Queue.add (`Obj o) work
+        end
+  in
+  let mark_sec m s =
+    match sec_id s with
+    | Some i ->
+        if not live_sec.(m).(i) then begin
+          live_sec.(m).(i) <- true;
+          Queue.add (`Sec (m, s)) work
+        end
+    | None -> ()
+  in
+  mark_target (Linker.Resolve.Tproc world.Linker.Resolve.entry_proc);
+  while not (Queue.is_empty work) do
+    match Queue.pop work with
+    | `Proc p -> (
+        match Hashtbl.find_opt sym_of_world p with
+        | None -> () (* not lifted: nothing to scan *)
+        | Some proc ->
+            List.iter
+              (fun (n : S.node) ->
+                match n.S.insn with
+                | S.Gatload { key = S.Paddr (t, _); _ } -> mark_target t
+                | S.Gprel { target; _ } | S.Lea_wide { target; _ } ->
+                    mark_target target
+                | S.Branch { target; _ } -> (
+                    match Hashtbl.find_opt home_of_label target with
+                    | Some q when q <> p ->
+                        mark_target (Linker.Resolve.Tproc q)
+                    | _ -> ())
+                | _ -> ())
+              proc.S.body)
+    | `Obj o -> (
+        match world.Linker.Resolve.objs.(o).Linker.Resolve.o_placement with
+        | Linker.Resolve.In_section { s_module; section; _ } ->
+            mark_sec s_module section
+        | Linker.Resolve.Common -> ())
+    | `Sec (m, s) ->
+        (* data in a live section may hold addresses of anything *)
+        List.iter
+          (fun (r : Objfile.Reloc.t) ->
+            if Objfile.Section.equal r.Objfile.Reloc.section s then
+              match r.Objfile.Reloc.kind with
+              | Objfile.Reloc.Refquad { symbol; _ }
+              | Objfile.Reloc.Gprel16 { symbol; _ } ->
+                  mark_target (Linker.Resolve.resolve_exn world m symbol)
+              | _ -> ())
+          world.Linker.Resolve.modules.(m).Objfile.Cunit.relocs
+  done;
+  (* prune dead procedures from the program *)
+  let procs_deleted = ref 0 and insns_deleted = ref 0 in
+  program.S.procs <-
+    Array.of_list
+      (List.filter
+         (fun (proc : S.proc) ->
+           live_proc.(proc.S.sp_index)
+           ||
+           (incr procs_deleted;
+            insns_deleted :=
+              !insns_deleted
+              + List.fold_left
+                  (fun a (n : S.node) -> a + S.insn_of_width n.S.insn)
+                  0 proc.S.body;
+            false))
+         (Array.to_list program.S.procs));
+  (* tally the data the layout will not place *)
+  let data_bytes_deleted = ref 0 in
+  Array.iteri
+    (fun m (u : Objfile.Cunit.t) ->
+      let dead i size = if not live_sec.(m).(i) then
+          data_bytes_deleted := !data_bytes_deleted + size
+      in
+      dead 0 (Bytes.length u.Objfile.Cunit.data);
+      dead 1 (Bytes.length u.Objfile.Cunit.sdata);
+      dead 2 u.Objfile.Cunit.sbss_size;
+      dead 3 u.Objfile.Cunit.bss_size)
+    world.Linker.Resolve.modules;
+  Array.iteri
+    (fun i (o : Linker.Resolve.obj_rec) ->
+      match o.Linker.Resolve.o_placement with
+      | Linker.Resolve.Common when not live_obj.(i) ->
+          data_bytes_deleted := !data_bytes_deleted + o.Linker.Resolve.o_size
+      | _ -> ())
+    world.Linker.Resolve.objs;
+  { live_proc;
+    live_obj;
+    live_sec;
+    procs_deleted = !procs_deleted;
+    insns_deleted = !insns_deleted;
+    data_bytes_deleted = !data_bytes_deleted }

@@ -242,14 +242,18 @@ let run ?(options = default_options) (program : S.program)
                 emit (off + 4) (I.Lda { ra; rb = ra; disp = lo }))
           proc.S.body)
       program.S.procs;
-    (* data region *)
+    (* data region; sections om-gc found dead were given no space and
+       must not be blitted over their live successors *)
+    let live = plan.Datalayout.live in
     let data = Bytes.make plan.Datalayout.data_total '\000' in
     Array.iteri
       (fun m (u : Objfile.Cunit.t) ->
-        Bytes.blit u.data 0 data plan.Datalayout.data_off.(m)
-          (Bytes.length u.data);
-        Bytes.blit u.sdata 0 data plan.Datalayout.sdata_off.(m)
-          (Bytes.length u.sdata))
+        if live.Datalayout.live_section m Objfile.Section.Data then
+          Bytes.blit u.data 0 data plan.Datalayout.data_off.(m)
+            (Bytes.length u.data);
+        if live.Datalayout.live_section m Objfile.Section.Sdata then
+          Bytes.blit u.sdata 0 data plan.Datalayout.sdata_off.(m)
+            (Bytes.length u.sdata))
       world.Linker.Resolve.modules;
     (* pool contents *)
     Array.iteri
@@ -266,13 +270,15 @@ let run ?(options = default_options) (program : S.program)
               v)
           tbl)
       group_alloc;
-    (* refquads *)
+    (* refquads; ones homed in dead sections go with their section (their
+       targets may be deleted procedures or dropped commons) *)
     Array.iteri
       (fun m (u : Objfile.Cunit.t) ->
         List.iter
           (fun (r : Objfile.Reloc.t) ->
             match r.kind with
-            | Objfile.Reloc.Refquad { symbol; addend } ->
+            | Objfile.Reloc.Refquad { symbol; addend }
+              when live.Datalayout.live_section m r.section ->
                 let addr =
                   address_of_target (Linker.Resolve.resolve_exn world m symbol)
                   + addend
@@ -319,12 +325,16 @@ let run ?(options = default_options) (program : S.program)
               Option.is_some (Transform.setup_at_entry proc) })
         program.S.procs
     in
+    (* GC'd targets get no symbol: a deleted procedure has no address and
+       a dropped common no storage *)
     let symbols =
       Hashtbl.fold
         (fun name tgt acc ->
-          match tgt with
-          | Linker.Resolve.Tproc p -> (name, proc_addr.(p)) :: acc
-          | Linker.Resolve.Tobj _ as t -> (name, address_of_target t) :: acc)
+          if not (live.Datalayout.live_target tgt) then acc
+          else
+            match tgt with
+            | Linker.Resolve.Tproc p -> (name, proc_addr.(p)) :: acc
+            | Linker.Resolve.Tobj _ as t -> (name, address_of_target t) :: acc)
         world.Linker.Resolve.globals []
       |> List.sort compare
     in

@@ -4,6 +4,7 @@ module Lift = Lift
 module Analysis = Analysis
 module Datalayout = Datalayout
 module Transform = Transform
+module Gc = Gc
 module Sched = Sched
 module Lower = Lower
 module Stats = Stats
@@ -11,15 +12,26 @@ module Verify = Verify
 
 module S = Symbolic
 
-type level = No_opt | Simple | Full | Full_sched
+type level = No_opt | Simple | Full | Full_sched | Gc
 
 let level_name = function
   | No_opt -> "om-noopt"
   | Simple -> "om-simple"
   | Full -> "om-full"
   | Full_sched -> "om-full+sched"
+  | Gc -> "om-gc"
 
-let all_levels = [ No_opt; Simple; Full; Full_sched ]
+let all_levels = [ No_opt; Simple; Full; Full_sched; Gc ]
+
+(* One parser for every CLI/daemon surface: short aliases and the full
+   level_name forms both work, so plumbing can never drift per-frontend. *)
+let level_of_string = function
+  | "noopt" | "om-noopt" -> Some No_opt
+  | "simple" | "om-simple" -> Some Simple
+  | "full" | "om-full" -> Some Full
+  | "sched" | "full+sched" | "om-full+sched" -> Some Full_sched
+  | "gc" | "om-gc" -> Some Gc
+  | _ -> None
 
 type output = {
   image : Linker.Image.t;
@@ -64,6 +76,25 @@ let optimize_program ?transform_options level (program : S.program) =
     Option.value transform_options ~default:Transform.default_options
   in
   (
+      let stats = Stats.create () in
+      (* om-gc prunes the symbolic program before any layout decision is
+         made: the shrunken GAT reservation and dead-section holes both
+         depend on the post-GC program. *)
+      let gc =
+        match level with
+        | Gc ->
+            let gc = Obs.Trace.span "gc" (fun () -> Gc.run program) in
+            stats.Stats.procs_deleted <- gc.Gc.procs_deleted;
+            stats.Stats.gc_insns_deleted <- gc.Gc.insns_deleted;
+            stats.Stats.data_bytes_deleted <- gc.Gc.data_bytes_deleted;
+            Some gc
+        | No_opt | Simple | Full | Full_sched -> None
+      in
+      let live =
+        match gc with
+        | Some gc -> Gc.liveness gc
+        | None -> Datalayout.all_live
+      in
       let merged = Obs.Trace.span "gat-merge" (fun () -> Linker.Gat.merge world) in
       let merged_group_bytes =
         Array.init merged.Linker.Gat.ngroups (fun g ->
@@ -83,24 +114,25 @@ let optimize_program ?transform_options level (program : S.program) =
               ~group_of_module:merged.Linker.Gat.group_of_module
               ~ngroups:merged.Linker.Gat.ngroups
               ~group_gat_bytes:merged_group_bytes
-        | Full | Full_sched ->
+        | Full | Full_sched | Gc ->
+            (* the count runs over the (possibly GC-pruned) program, so
+               freed PV and constant slots shrink the reservation *)
             let planned =
               planned_full_gat ~addr_opt:topts.Transform.opt_addr program
             in
             if planned <= Linker.Layout.gat_group_capacity then
-              Datalayout.plan world
+              Datalayout.plan ~live world
                 ~group_of_module:
                   (Array.map (fun _ -> 0) merged.Linker.Gat.group_of_module)
                 ~ngroups:1
                 ~group_gat_bytes:[| max 16 (8 * planned) |]
             else
               (* degenerate huge program: fall back to the merged grouping *)
-              Datalayout.plan world
+              Datalayout.plan ~live world
                 ~group_of_module:merged.Linker.Gat.group_of_module
                 ~ngroups:merged.Linker.Gat.ngroups
                 ~group_gat_bytes:merged_group_bytes
       in
-      let stats = Stats.create () in
       stats.Stats.gat_bytes_before <- Linker.Gat.size_bytes merged;
       let snapshot = ref (Stats.to_alist stats) in
       let counters = stats_delta stats snapshot in
@@ -123,7 +155,17 @@ let optimize_program ?transform_options level (program : S.program) =
               ignore
                 (Transform.run ~options:topts Transform.Full program plan
                    stats));
+          Obs.Trace.span "sched" (fun () -> Sched.run program)
+      | Gc ->
+          let section_live = Gc.section_live (Option.get gc) in
+          Obs.Trace.span ~counters "transform:full" (fun () ->
+              ignore
+                (Transform.run ~options:topts ~section_live Transform.Full
+                   program plan stats));
           Obs.Trace.span "sched" (fun () -> Sched.run program));
+      (* om-gc schedules but keeps branch-target alignment off: the pads
+         would cost text bytes, and om-gc's contract is never to be larger
+         than om-full on any axis. *)
       let options =
         { Lower.align_branch_targets = (level = Full_sched) }
       in

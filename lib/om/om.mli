@@ -5,6 +5,7 @@ module Lift : module type of Lift
 module Analysis : module type of Analysis
 module Datalayout : module type of Datalayout
 module Transform : module type of Transform
+module Gc : module type of Gc
 module Sched : module type of Sched
 module Lower : module type of Lower
 module Stats : module type of Stats
@@ -24,12 +25,41 @@ module Verify : module type of Verify
       become no-ops;
     - [Full] — OM-full: code motion, deletion, GAT reduction;
     - [Full_sched] — OM-full plus per-block rescheduling and quadword
-      alignment of backward-branch targets. *)
+      alignment of backward-branch targets;
+    - [Gc] — om-gc: whole-program garbage collection on top of OM-full.
+      Unreachable procedures are deleted from the call graph rooted at the
+      entry point; data/sdata/sbss/bss sections and commons referenced by
+      no live code or data vanish from the layout (survivors renumber and
+      relocate automatically); PVs whose address escapes only through dead
+      data are devirtualized. GAT reduction then runs over the pruned
+      program, so freed slots shrink the table. Scheduling runs as in
+      [Full_sched] but branch-target alignment stays off, keeping om-gc
+      no larger than om-full in text, data and GAT bytes on every input.
 
-type level = No_opt | Simple | Full | Full_sched
+    Per-level invariants — what each level may do to the program:
+    - [No_opt]: nothing moved, deleted or devirtualized; byte-for-byte
+      behavioral identity with a standard link.
+    - [Simple]: instructions may be nullified (become no-ops) in place;
+      nothing moves, nothing is deleted, layout keeps the merged
+      per-module GAT groups.
+    - [Full]/[Full_sched]: instructions may move (GP-setup restoration,
+      scheduling) and be deleted; the GAT shrinks to the surviving
+      entries; no procedure or data is ever removed.
+    - [Gc]: additionally, whole procedures and whole data sections may be
+      deleted, and GAT-mediated calls to non-escaping PVs may be
+      devirtualized to direct branches. Live code and data keep their
+      observable behavior: every level produces the same program outputs. *)
+
+type level = No_opt | Simple | Full | Full_sched | Gc
 
 val level_name : level -> string
 val all_levels : level list
+
+val level_of_string : string -> level option
+(** Parses both the short CLI aliases ("noopt", "simple", "full", "sched",
+    "full+sched", "gc") and the full {!level_name} forms ("om-gc", ...).
+    Every frontend (omlink flags, daemon protocol) goes through this one
+    parser. *)
 
 type output = {
   image : Linker.Image.t;

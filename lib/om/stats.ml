@@ -17,6 +17,10 @@ type t = {
   mutable gp_setups_deleted : int;
   mutable gat_bytes_before : int;
   mutable gat_bytes_after : int;
+  mutable pvs_devirtualized : int;
+  mutable procs_deleted : int;
+  mutable gc_insns_deleted : int;
+  mutable data_bytes_deleted : int;
 }
 
 let create () =
@@ -37,7 +41,11 @@ let create () =
     jsr_after = 0;
     gp_setups_deleted = 0;
     gat_bytes_before = 0;
-    gat_bytes_after = 0 }
+    gat_bytes_after = 0;
+    pvs_devirtualized = 0;
+    procs_deleted = 0;
+    gc_insns_deleted = 0;
+    data_bytes_deleted = 0 }
 
 let measure_before (program : Symbolic.program) (als : Analysis.t) t =
   t.insns_before <- Symbolic.static_insn_count program;
@@ -93,17 +101,25 @@ let to_alist t =
     ("jsr_after", t.jsr_after);
     ("gp_setups_deleted", t.gp_setups_deleted);
     ("gat_bytes_before", t.gat_bytes_before);
-    ("gat_bytes_after", t.gat_bytes_after) ]
+    ("gat_bytes_after", t.gat_bytes_after);
+    ("pvs_devirtualized", t.pvs_devirtualized);
+    ("procs_deleted", t.procs_deleted);
+    ("gc_insns_deleted", t.gc_insns_deleted);
+    ("data_bytes_deleted", t.data_bytes_deleted) ]
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>insns: %d -> %d (%d nop'd, %d deleted)@,\
      address loads: %d (%d converted, %d nullified); %d constant loads@,\
      calls: %d (pv %d -> %d, reset %d -> %d, jsr %d -> %d)@,\
-     gp setups deleted: %d@,\
+     gp setups deleted: %d; pvs devirtualized: %d@,\
      GAT bytes: %d -> %d@]"
     t.insns_before t.insns_after t.nops_added t.insns_deleted t.addr_loads
     t.addr_converted t.addr_nullified t.const_loads t.calls
     t.calls_pv_before t.calls_pv_after t.calls_reset_before
     t.calls_reset_after t.jsr_before t.jsr_after t.gp_setups_deleted
-    t.gat_bytes_before t.gat_bytes_after
+    t.pvs_devirtualized t.gat_bytes_before t.gat_bytes_after;
+  if t.procs_deleted > 0 || t.data_bytes_deleted > 0 then
+    Format.fprintf ppf
+      "@,gc: %d procedure(s) deleted (%d insns), %d data bytes dropped"
+      t.procs_deleted t.gc_insns_deleted t.data_bytes_deleted

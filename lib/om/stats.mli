@@ -25,6 +25,14 @@ type t = {
   mutable gp_setups_deleted : int;
   mutable gat_bytes_before : int;
   mutable gat_bytes_after : int;
+  mutable pvs_devirtualized : int;
+      (** GAT-mediated [jsr]s converted to direct [bsr]s {e with} their PV
+          address load (and so its GAT slot) removed *)
+  mutable procs_deleted : int;        (** unreachable procedures (om-gc) *)
+  mutable gc_insns_deleted : int;
+      (** static instructions inside deleted procedures (om-gc) *)
+  mutable data_bytes_deleted : int;
+      (** bytes of dead data sections and commons dropped (om-gc) *)
 }
 
 val create : unit -> t

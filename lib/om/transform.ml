@@ -92,10 +92,10 @@ let positions (program : S.program) =
     program.S.procs;
   pos
 
-let run ?(options = default_options) level (program : S.program)
-    (plan : Datalayout.plan) (stats : Stats.t) =
+let run ?(options = default_options) ?section_live level
+    (program : S.program) (plan : Datalayout.plan) (stats : Stats.t) =
   if level = Full && options.opt_setup_motion then move_setups_to_entry program;
-  let als = Analysis.run ~local_only:(level = Simple) program in
+  let als = Analysis.run ~local_only:(level = Simple) ?section_live program in
   Stats.measure_before program als stats;
   let world = program.S.world in
   let pos = positions program in
@@ -230,7 +230,9 @@ let run ?(options = default_options) level (program : S.program)
               Hashtbl.replace handled_loads load.S.nid ();
               if pv_removable && pv_clean then begin
                 nullify caller load;
-                stats.Stats.addr_nullified <- stats.Stats.addr_nullified + 1
+                stats.Stats.addr_nullified <- stats.Stats.addr_nullified + 1;
+                stats.Stats.pvs_devirtualized <-
+                  stats.Stats.pvs_devirtualized + 1
               end
               else begin
                 stats.Stats.calls_pv_after <- stats.Stats.calls_pv_after + 1;

@@ -42,10 +42,14 @@ val default_options : options
     switch features off one at a time to price each one. *)
 
 val run :
-  ?options:options -> level -> Symbolic.program -> Datalayout.plan ->
+  ?options:options ->
+  ?section_live:(int -> Objfile.Section.t -> bool) ->
+  level -> Symbolic.program -> Datalayout.plan ->
   Stats.t -> Analysis.t
 (** Transform the program in place. Returns the analysis that was used
-    (computed after [Full]'s setup motion), mainly for tests. *)
+    (computed after [Full]'s setup motion), mainly for tests.
+    [section_live] is forwarded to {!Analysis.run} — om-gc's refinement
+    of the PV escape facts. *)
 
 val move_setups_to_entry : Symbolic.program -> unit
 (** The [Full]-mode code motion, exposed for testing. *)

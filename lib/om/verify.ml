@@ -66,10 +66,58 @@ let image (img : Linker.Image.t) =
                           tp.name target tp.entry
                   | None ->
                       problem addr "branch target %#x in no procedure" target)
-            | I.Ldq { rb; disp; _ } when R.equal rb R.gp ->
+            | I.Ldq { ra = rdest; rb; disp } when R.equal rb R.gp ->
                 let a = p.gp_value + disp in
                 if a < img.data_base || a + 8 > data_end then
                   problem addr "gp-relative load from %#x outside data" a
+                else if
+                  a >= img.gat_base
+                  && a + 8 <= img.gat_base + img.gat_bytes
+                  && not (R.equal rdest R.gp)
+                then begin
+                  (* A GAT slot load: follow the loaded value to its first
+                     uses. An indirect jump through it must land on a
+                     procedure entry; a memory access based on it must stay
+                     inside the data segment. This is what catches a
+                     dangling slot left behind by a bad GC: the procedure
+                     or datum it named is gone but the code still loads and
+                     uses it. The scan is conservative — it stops at the
+                     first redefinition or control transfer. *)
+                  let value =
+                    Int64.to_int
+                      (Bytes.get_int64_le img.data (a - img.data_base))
+                  in
+                  let rec follow j =
+                    if j < first + count then
+                      let jaddr = img.text_base + (4 * j) in
+                      match insns.(j) with
+                      | I.Jump { rb; _ } when R.equal rb rdest -> (
+                          match proc_of value with
+                          | Some tp when valid_cross_target tp value -> ()
+                          | _ ->
+                              problem jaddr
+                                "indirect jump via GAT slot %#x: %#x is not \
+                                 a procedure entry"
+                                a value)
+                      | (I.Ldq { rb; disp; _ } | I.Stq { rb; disp; _ }) as i
+                        when R.equal rb rdest ->
+                          let ea = value + disp in
+                          if ea < img.data_base || ea + 8 > data_end then
+                            problem jaddr
+                              "memory access via GAT slot %#x: address %#x \
+                               outside data"
+                              a ea;
+                          if List.exists (R.equal rdest) (I.defs i) then ()
+                          else follow (j + 1)
+                      | i ->
+                          if
+                            I.is_branch i
+                            || List.exists (R.equal rdest) (I.defs i)
+                          then ()
+                          else follow (j + 1)
+                  in
+                  follow (k + 1)
+                end
             | I.Stq { rb; disp; _ } when R.equal rb R.gp ->
                 let a = p.gp_value + disp in
                 if a < img.data_base || a + 8 > data_end then

@@ -12,6 +12,14 @@
       entry / post-GP-setup point of another one;
     - every GP-relative quadword load ([ldq rX, d(gp)]) falls inside the
       image's data region;
+    - when such a load reads a GAT slot, the slot's {e value} is checked
+      against its first uses: an indirect [Jump] through the loaded
+      register must target a procedure entry (or a post-GP-setup point),
+      and a quadword access based on it must stay inside the data segment.
+      This is the check that catches images corrupted by a bad garbage
+      collection — a call into a deleted procedure, a GAT slot naming
+      GC'd data, or a dangling relocation — while holding on standard
+      images, whose slots are always valid;
     - each procedure's GPDISP-style setup (an [ldah gp, hi(pv)] followed
       somewhere by [lda gp, lo(gp)]) computes exactly the procedure's
       recorded GP value — checked for prologues anchored on [pv];

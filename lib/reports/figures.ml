@@ -161,18 +161,28 @@ let gat_table ppf matrix =
     ~rows:(rows_of matrix cells ~ncols:3)
 
 let fig7 ppf timings =
+  (* columns derive from [Om.all_levels]: a new level shows up here with
+     no figure edit *)
+  let levels = Om.all_levels in
+  let short l =
+    let n = Om.level_name l in
+    if String.length n <= 9 then n else String.sub n 0 9
+  in
   Format.fprintf ppf
     "@[<v>Figure 7: build times in milliseconds (standard link from \
      objects; compile-all from source; OM from objects)@,";
-  Format.fprintf ppf "%-10s %9s %9s %9s %9s %9s %9s@," "program" "std-link"
-    "interproc" "om-noopt" "om-simpl" "om-full" "om-f+sch";
+  Format.fprintf ppf "%-10s %9s %9s" "program" "std-link" "interproc";
+  List.iter (fun l -> Format.fprintf ppf " %9s" (short l)) levels;
+  Format.fprintf ppf "@,";
   let ms t = 1000. *. t in
-  let totals = Array.make 6 0. in
+  let totals = Array.make (2 + List.length levels) 0. in
   List.iter
     (fun (name, (t : Measure.timing)) ->
       let cols =
-        [ t.t_std_link; t.t_interproc; t.t_noopt; t.t_simple; t.t_full;
-          t.t_full_sched ]
+        t.t_std_link :: t.t_interproc
+        :: List.map
+             (fun l -> Option.value (List.assoc_opt l t.t_om) ~default:0.)
+             levels
       in
       List.iteri (fun i v -> totals.(i) <- totals.(i) +. v) cols;
       Format.fprintf ppf "%-10s" name;

@@ -179,13 +179,12 @@ let stats_of result level =
   Option.map (fun r -> r.stats)
     (List.find_opt (fun r -> r.level = level) result.runs)
 
+(* One [t_om] entry per level in [Om.all_levels], in that order — a new
+   level gets timed (and plotted by fig7) without touching this record. *)
 type timing = {
   t_std_link : float;
   t_interproc : float;
-  t_noopt : float;
-  t_simple : float;
-  t_full : float;
-  t_full_sched : float;
+  t_om : (Om.level * float) list;
 }
 
 (* Wall clock, not [Sys.time]: under parallel domains process CPU time
@@ -237,8 +236,12 @@ let time_builds (b : Workloads.Programs.benchmark) =
           Result.map ignore (Linker.Link.link [ merged ] ~archives)
         with Minic.Driver.Error m -> Error m)
   in
-  let* t_noopt = om_time Om.No_opt in
-  let* t_simple = om_time Om.Simple in
-  let* t_full = om_time Om.Full in
-  let* t_full_sched = om_time Om.Full_sched in
-  Ok { t_std_link; t_interproc; t_noopt; t_simple; t_full; t_full_sched }
+  let* t_om =
+    List.fold_left
+      (fun acc level ->
+        let* acc = acc in
+        let* t = om_time level in
+        Ok ((level, t) :: acc))
+      (Ok []) Om.all_levels
+  in
+  Ok { t_std_link; t_interproc; t_om = List.rev t_om }

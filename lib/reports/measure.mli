@@ -51,16 +51,16 @@ val stats_of : result -> Om.level -> Om.Stats.t option
 type timing = {
   t_std_link : float;       (** standard link, seconds *)
   t_interproc : float;      (** compile-all from source + standard link *)
-  t_noopt : float;
-  t_simple : float;
-  t_full : float;
-  t_full_sched : float;
+  t_om : (Om.level * float) list;
+      (** one entry per {!Om.all_levels}, in that order *)
 }
 
 val time_builds :
   Workloads.Programs.benchmark -> (timing, string) Stdlib.result
-(** Wall-clock the six build paths of the paper's Figure 7 (objects are
-    pre-compiled for every column except the interprocedural build, which
-    compiles from source). Uses wall time, so the numbers stay meaningful
-    when other domains are busy. A build path that fails surfaces as
-    [Error] (not [failwith]) so callers can fail one benchmark's row. *)
+(** Wall-clock the build paths of the paper's Figure 7: standard link,
+    interprocedural build, and one OM link per level in {!Om.all_levels}
+    (objects are pre-compiled for every column except the
+    interprocedural build, which compiles from source). Uses wall time,
+    so the numbers stay meaningful when other domains are busy. A build
+    path that fails surfaces as [Error] (not [failwith]) so callers can
+    fail one benchmark's row. *)

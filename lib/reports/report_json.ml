@@ -8,6 +8,12 @@ let profile_buckets image =
       | Ok p -> Some (Obs.Report.attribution_of_profile p)
       | Error _ -> None)
 
+let size_of_image (image : Linker.Image.t) =
+  Some
+    { Obs.Report.text_bytes = Bytes.length image.Linker.Image.text;
+      data_bytes = Bytes.length image.Linker.Image.data;
+      gat_bytes = image.Linker.Image.gat_bytes }
+
 let of_result ?(attribution = false) (r : Measure.result) =
   let attr image = if attribution then profile_buckets image else None in
   let host ~wall_s ~mips = Some { Obs.Report.wall_s; mips } in
@@ -28,10 +34,12 @@ let of_result ?(attribution = false) (r : Measure.result) =
             counters = Om.Stats.to_alist run.Measure.stats;
             attribution = attr run.Measure.image;
             fault = None;
-            host = host ~wall_s:run.Measure.wall_s ~mips:run.Measure.mips })
+            host = host ~wall_s:run.Measure.wall_s ~mips:run.Measure.mips;
+            size = size_of_image run.Measure.image })
         r.Measure.runs;
     std_host = host ~wall_s:r.Measure.std_wall_s ~mips:r.Measure.std_mips;
-    relink = None }
+    relink = None;
+    std_size = size_of_image r.Measure.std_image }
 
 let of_matrix ?attribution ?tool results =
   Obs.Report.make ?tool (List.map (of_result ?attribution) results)

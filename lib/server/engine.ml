@@ -73,11 +73,12 @@ type level = Std | Om of Om.level
 
 let level_of_string = function
   | "std" -> Ok Std
-  | "noopt" | "om-noopt" -> Ok (Om Om.No_opt)
-  | "simple" | "om-simple" -> Ok (Om Om.Simple)
-  | "full" | "om-full" -> Ok (Om Om.Full)
-  | "sched" | "full+sched" | "om-full+sched" -> Ok (Om Om.Full_sched)
-  | s -> Error (Printf.sprintf "unknown level %S" s)
+  | s -> (
+      (* OM levels share one parser with the CLI, so a level added there
+         is automatically speakable over the daemon protocol *)
+      match Om.level_of_string s with
+      | Some l -> Ok (Om l)
+      | None -> Error (Printf.sprintf "unknown level %S" s))
 
 let level_name = function Std -> "std" | Om l -> Om.level_name l
 

@@ -111,7 +111,12 @@ let test_timing_harness () =
     | Error m -> Alcotest.failf "time_builds: %s" m
   in
   Alcotest.(check bool) "timings positive" true
-    (t.Reports.Measure.t_std_link >= 0. && t.Reports.Measure.t_full >= 0.);
+    (t.Reports.Measure.t_std_link >= 0.
+    && List.for_all (fun (_, v) -> v >= 0.) t.Reports.Measure.t_om);
+  (* one timed OM column per level, in all_levels order *)
+  Alcotest.(check (list string)) "om columns cover all levels"
+    (List.map Om.level_name Om.all_levels)
+    (List.map (fun (l, _) -> Om.level_name l) t.Reports.Measure.t_om);
   (* the interprocedural rebuild includes compilation, so it costs more
      than a standard link — the paper's Figure 7 argument *)
   Alcotest.(check bool) "interproc build slower than standard link" true

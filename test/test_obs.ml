@@ -290,7 +290,12 @@ let sample_report () =
               counters = [ ("addr_loads", 14); ("gp_setups_deleted", 6) ];
               attribution = None;
               fault = None;
-              host = Some { Obs.Report.wall_s = 0.25; mips = 12.5 } };
+              host = Some { Obs.Report.wall_s = 0.25; mips = 12.5 };
+              size =
+                Some
+                  { Obs.Report.text_bytes = 2800;
+                    data_bytes = 512;
+                    gat_bytes = 64 } };
             { Obs.Report.level = "om-full+sched";
               cycles = 0;
               insns = 0;
@@ -298,9 +303,14 @@ let sample_report () =
               counters = [];
               attribution = None;
               fault = Some "heap exhausted";
-              host = None } ];
+              host = None;
+              size = None } ];
         std_host = Some { Obs.Report.wall_s = 0.5; mips = 10.0 };
-        relink = Some { Obs.Report.cold_s = 0.2; warm_s = 0.05 } } ]
+        relink = Some { Obs.Report.cold_s = 0.2; warm_s = 0.05 };
+        std_size =
+          Some
+            { Obs.Report.text_bytes = 3156; data_bytes = 640; gat_bytes = 320 }
+      } ]
 
 let test_report_roundtrip () =
   let r = sample_report () in
@@ -608,7 +618,7 @@ let test_trace_multidomain () =
       Alcotest.(check int) "worker span depth" 0 s.Obs.Trace.depth)
     task_spans
 
-(* --- Report v3/v4 side by side --- *)
+(* --- Report v3/v5 side by side --- *)
 
 let v3_doc () =
   Obs.Json.Obj
@@ -631,7 +641,7 @@ let v3_doc () =
                     [ ("cold_s", Obs.Json.Float 0.2);
                       ("warm_s", Obs.Json.Float 0.05) ] ) ] ] ) ]
 
-let test_report_accepts_v3_and_v4 () =
+let test_report_accepts_v3_and_v5 () =
   (* v3: no latency/metrics fields — they surface as None *)
   (match Obs.Report.of_json (v3_doc ()) with
   | Error m -> Alcotest.failf "v3 document rejected: %s" m
@@ -640,8 +650,8 @@ let test_report_accepts_v3_and_v4 () =
       Alcotest.(check bool) "v3 metrics is None" true (r.Obs.Report.metrics = None);
       Alcotest.(check bool) "v3 relink survives" true
         ((List.hd r.Obs.Report.results).Obs.Report.relink <> None));
-  (* v4: fresh reports carry quantiles and a metrics snapshot *)
-  Alcotest.(check int) "make stamps v4" 4 Obs.Report.schema_version;
+  (* v5: fresh reports carry quantiles, a metrics snapshot, and sizes *)
+  Alcotest.(check int) "make stamps v5" 5 Obs.Report.schema_version;
   let reg = Obs.Metrics.create () in
   let h = Obs.Metrics.histogram ~registry:reg "lat_us" in
   List.iter (Obs.Metrics.observe h) [ 10; 20; 30 ];
@@ -652,13 +662,13 @@ let test_report_accepts_v3_and_v4 () =
           q_max_us = 30 }
       ~metrics:(Obs.Metrics.to_json reg) []
   in
-  let path = Filename.temp_file "obs_report_v4" ".json" in
+  let path = Filename.temp_file "obs_report_v5" ".json" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   Obs.Report.write path r4;
   match Obs.Report.read path with
   | Error m -> Alcotest.failf "v4 read failed: %s" m
   | Ok r' -> (
-      Alcotest.(check int) "version" 4 r'.Obs.Report.version;
+      Alcotest.(check int) "version" 5 r'.Obs.Report.version;
       (match r'.Obs.Report.latency with
       | Some q ->
           Alcotest.(check int) "q_count" 3 q.Obs.Report.q_count;
@@ -673,7 +683,7 @@ let test_report_accepts_v3_and_v4 () =
 
 (* --- Compare: the regression gate --- *)
 
-let report_with ~cycles ~improvement ~mips =
+let report_with ?(gat_bytes = 64) ~cycles ~improvement ~mips () =
   Obs.Report.make ~tool:"test"
     [ { Obs.Report.bench = "b";
         build = "compile-each";
@@ -690,19 +700,28 @@ let report_with ~cycles ~improvement ~mips =
               counters = [];
               attribution = None;
               fault = None;
-              host = Some { Obs.Report.wall_s = 0.1; mips } } ];
+              host = Some { Obs.Report.wall_s = 0.1; mips };
+              size =
+                Some
+                  { Obs.Report.text_bytes = 360;
+                    data_bytes = 128;
+                    gat_bytes } } ];
         std_host = Some { Obs.Report.wall_s = 0.1; mips = 100. };
-        relink = None } ]
+        relink = None;
+        std_size =
+          Some
+            { Obs.Report.text_bytes = 400; data_bytes = 160; gat_bytes = 320 }
+      } ]
 
 let test_compare_gate () =
-  let base = report_with ~cycles:800 ~improvement:20.0 ~mips:100. in
+  let base = report_with ~cycles:800 ~improvement:20.0 ~mips:100. () in
   (* identical reports: clean pass *)
   let same = Obs.Compare.compare ~old_r:base ~new_r:base () in
   Alcotest.(check bool) "identical reports pass" true (Obs.Compare.ok same);
   Alcotest.(check int) "no regressions" 0
     (List.length same.Obs.Compare.regressions);
   (* cycles +5% and improvement -4 points: both gate *)
-  let regressed = report_with ~cycles:840 ~improvement:16.0 ~mips:100. in
+  let regressed = report_with ~cycles:840 ~improvement:16.0 ~mips:100. () in
   let out = Obs.Compare.compare ~old_r:base ~new_r:regressed () in
   Alcotest.(check bool) "regression fails the gate" false (Obs.Compare.ok out);
   let metrics =
@@ -712,7 +731,7 @@ let test_compare_gate () =
   Alcotest.(check bool) "improvement gated" true
     (List.mem "improvement_pct" metrics);
   (* a big MIPS drop is a warning by default, a regression when gated *)
-  let slower = report_with ~cycles:800 ~improvement:20.0 ~mips:50. in
+  let slower = report_with ~cycles:800 ~improvement:20.0 ~mips:50. () in
   let warned = Obs.Compare.compare ~old_r:base ~new_r:slower () in
   Alcotest.(check bool) "mips drop alone passes by default" true
     (Obs.Compare.ok warned);
@@ -729,7 +748,7 @@ let test_compare_gate () =
   in
   Alcotest.(check bool) "gated mips drop fails" false (Obs.Compare.ok gated);
   (* faster cycles surface as improvements, not regressions *)
-  let faster = report_with ~cycles:700 ~improvement:30.0 ~mips:100. in
+  let faster = report_with ~cycles:700 ~improvement:30.0 ~mips:100. () in
   let better = Obs.Compare.compare ~old_r:base ~new_r:faster () in
   Alcotest.(check bool) "improvement passes" true (Obs.Compare.ok better);
   Alcotest.(check bool) "improvements recorded" true
@@ -769,6 +788,6 @@ let suite =
       Alcotest.test_case "metrics across domains" `Quick
         test_metrics_multidomain;
       Alcotest.test_case "trace across domains" `Quick test_trace_multidomain;
-      Alcotest.test_case "report accepts v3 and v4" `Quick
-        test_report_accepts_v3_and_v4;
+      Alcotest.test_case "report accepts v3 and v5" `Quick
+        test_report_accepts_v3_and_v5;
       Alcotest.test_case "compare regression gate" `Quick test_compare_gate ] )

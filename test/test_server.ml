@@ -200,8 +200,8 @@ let test_engine_matches_direct_link () =
         (Printf.sprintf "engine image = direct image at %s" level_name)
         (Store.Codec.image_to_string direct)
         (Store.Codec.image_to_string image))
-    [ ("noopt", Om.No_opt); ("simple", Om.Simple); ("full", Om.Full);
-      ("sched", Om.Full_sched) ]
+    (* derived from all_levels so a new level is covered automatically *)
+    (List.map (fun l -> (Om.level_name l, l)) Om.all_levels)
 
 let test_relink_timings () =
   let b =
@@ -436,7 +436,7 @@ let test_bench_compare_exit_codes () =
       Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
       Unix.rmdir dir)
   @@ fun () ->
-  let report ~cycles ~pct =
+  let report ?(text_bytes = 3600) ~cycles ~pct () =
     let run =
       { Obs.Report.level = "om-full";
         cycles;
@@ -445,7 +445,9 @@ let test_bench_compare_exit_codes () =
         counters = [];
         attribution = None;
         fault = None;
-        host = None }
+        host = None;
+        size =
+          Some { Obs.Report.text_bytes; data_bytes = 512; gat_bytes = 64 } }
     in
     Obs.Report.make
       [ { Obs.Report.bench = "b";
@@ -457,16 +459,21 @@ let test_bench_compare_exit_codes () =
           outputs_agree = true;
           runs = [ run ];
           std_host = None;
-          relink = None } ]
+          relink = None;
+          std_size = None } ]
   in
   let write name r =
     let path = Filename.concat dir name in
     Obs.Report.write path r;
     path
   in
-  let old_p = write "old.json" (report ~cycles:1000 ~pct:20.0) in
-  let same_p = write "same.json" (report ~cycles:1000 ~pct:20.0) in
-  let bad_p = write "bad.json" (report ~cycles:1100 ~pct:12.0) in
+  let old_p = write "old.json" (report ~cycles:1000 ~pct:20.0 ()) in
+  let same_p = write "same.json" (report ~cycles:1000 ~pct:20.0 ()) in
+  let bad_p = write "bad.json" (report ~cycles:1100 ~pct:12.0 ()) in
+  let fat_p =
+    (* cycles untouched, text 2.8% bigger: only the size gate can fire *)
+    write "fat.json" (report ~text_bytes:3700 ~cycles:1000 ~pct:20.0 ())
+  in
   let run args =
     Sys.command
       (Filename.quote_command bench_exe ~stdout:Filename.null
@@ -475,6 +482,8 @@ let test_bench_compare_exit_codes () =
   Alcotest.(check int) "identical reports pass" 0 (run [ old_p; same_p ]);
   Alcotest.(check bool) "regressed report fails" true
     (run [ old_p; bad_p ] <> 0);
+  Alcotest.(check bool) "size-regressed report fails" true
+    (run [ old_p; fat_p ] <> 0);
   Alcotest.(check int) "unreadable report is a usage error" 2
     (run [ old_p; Filename.concat dir "nope.json" ])
 
