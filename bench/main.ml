@@ -11,6 +11,8 @@
                                block-cache summary, nonzero exit on failure
      bench/main.exe fuzz       differential-fuzzer throughput (cases/sec)
      bench/main.exe relink     cold vs warm link-service relink times
+     bench/main.exe load       concurrent daemon load test (see --profile);
+                               merges the result into BENCH_report.json
      bench/main.exe quick      figures from a 5-benchmark subset
      bench/main.exe check-report   validate BENCH_report.json parses
      bench/main.exe compare OLD NEW   perf-regression gate between reports
@@ -420,9 +422,133 @@ let write_report quick =
     report.Obs.Report.version
     (List.length report.Obs.Report.results)
 
+(* --- load: the concurrent link-service load test (schema v6) ---
+
+   Spawns a hermetic daemon (in-memory store, its own registry) with the
+   pool shape from -j, fires a seeded request mix at it from concurrent
+   client threads, checks every reply byte-for-byte against a serial
+   oracle, and merges the result into BENCH_report.json as the v6 [load]
+   record. Exits nonzero on any hard failure, mismatch, or (with
+   --p99-max-ms) a latency-ceiling breach — the CI smoke for the
+   concurrent daemon. *)
+
+let load_usage () =
+  Printf.eprintf
+    "usage: bench load [--profile cold|dup|mixed] [--clients N]\n\
+    \        [--requests N] [--queue-limit N] [--seed N] [--retries N]\n\
+    \        [--level L] [--p99-max-ms X] [--no-report] [-j N]\n";
+  exit 2
+
+let run_load args =
+  let spec = ref { Load.default_spec with requests = 48; retries = 4 } in
+  let queue_limit = ref None in
+  let p99_max_ms = ref None in
+  let write_report = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--profile" :: v :: rest -> (
+        match Load.profile_of_string v with
+        | Ok p ->
+            spec := { !spec with Load.profile = p };
+            parse rest
+        | Error m ->
+            Printf.eprintf "%s\n" m;
+            load_usage ())
+    | "--clients" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            spec := { !spec with Load.clients = n };
+            parse rest
+        | _ -> load_usage ())
+    | "--requests" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            spec := { !spec with Load.requests = n };
+            parse rest
+        | _ -> load_usage ())
+    | "--queue-limit" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            queue_limit := Some n;
+            parse rest
+        | _ -> load_usage ())
+    | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n ->
+            spec := { !spec with Load.seed = n };
+            parse rest
+        | _ -> load_usage ())
+    | "--retries" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+            spec := { !spec with Load.retries = n };
+            parse rest
+        | _ -> load_usage ())
+    | "--level" :: v :: rest ->
+        spec := { !spec with Load.level = v };
+        parse rest
+    | "--p99-max-ms" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some x when x > 0. ->
+            p99_max_ms := Some x;
+            parse rest
+        | _ -> load_usage ())
+    | "--no-report" :: rest ->
+        write_report := false;
+        parse rest
+    | _ -> load_usage ()
+  in
+  parse args;
+  let spec = !spec in
+  Printf.eprintf "[bench] load: %s mix, %d requests, %d clients, -j %s\n%!"
+    (Load.profile_name spec.Load.profile)
+    spec.Load.requests spec.Load.clients
+    (match !jobs with Some n -> string_of_int n | None -> "auto");
+  match Load.run_selfhosted ?workers:!jobs ?queue_limit:!queue_limit spec with
+  | Error m ->
+      Printf.eprintf "[bench] load failed: %s\n%!" m;
+      exit 1
+  | Ok r ->
+      List.iter print_endline (Load.summary_lines r);
+      List.iter (Printf.printf "  failure: %s\n") r.Load.r_failures;
+      if !write_report then begin
+        (match Obs.Report.read report_path with
+        | Ok report ->
+            Obs.Report.write report_path
+              { report with
+                Obs.Report.version = Obs.Report.schema_version;
+                load = Some (Load.to_report_load r) };
+            Printf.eprintf "[bench] merged load result into %s (schema v%d)\n%!"
+              report_path Obs.Report.schema_version
+        | Error _ ->
+            Printf.eprintf
+              "[bench] no parseable %s to merge into (run \"bench quick\" \
+               first)\n%!"
+              report_path)
+      end;
+      let p99_ms = float_of_int (Load.quantile_us r 0.99) /. 1000. in
+      let bad = ref false in
+      if r.Load.r_ok <> r.Load.r_requests then begin
+        Printf.eprintf "[bench] load: only %d of %d requests succeeded\n%!"
+          r.Load.r_ok r.Load.r_requests;
+        bad := true
+      end;
+      if r.Load.r_mismatched > 0 then begin
+        Printf.eprintf "[bench] load: %d replies differ from the oracle!\n%!"
+          r.Load.r_mismatched;
+        bad := true
+      end;
+      (match !p99_max_ms with
+      | Some ceiling when p99_ms > ceiling ->
+          Printf.eprintf "[bench] load: p99 %.1f ms over the %.1f ms ceiling\n%!"
+            p99_ms ceiling;
+          bad := true
+      | _ -> ());
+      if !bad then exit 1
+
 (* smoke check: does the written report parse back through the schema
-   reader, and does it carry the v5 payload? (CI runs this after
-   "quick".) *)
+   reader, and does it carry the v6 payload? (CI runs this after
+   "quick" and "load".) *)
 let check_report () =
   match Obs.Report.read report_path with
   | Ok r ->
@@ -450,21 +576,30 @@ let check_report () =
         | None -> false
       in
       let has_metrics = r.Obs.Report.metrics <> None in
+      let loaded =
+        match r.Obs.Report.load with
+        | Some l ->
+            l.Obs.Report.l_ok > 0 && l.Obs.Report.l_mismatched = 0
+            && l.Obs.Report.l_latency.Obs.Report.q_count > 0
+        | None -> false
+      in
       Printf.printf
         "%s: OK (schema v%d, %d results, host throughput %s, latency \
-         quantiles %s, metrics snapshot %s, image sizes %s)\n"
+         quantiles %s, metrics snapshot %s, image sizes %s, load result %s)\n"
         report_path r.Obs.Report.version
         (List.length r.Obs.Report.results)
         (if hosted then "present" else "MISSING")
         (if quantiled then "present" else "MISSING")
         (if has_metrics then "present" else "MISSING")
-        (if sized then "present" else "MISSING");
-      if r.Obs.Report.version < 5 then begin
-        Printf.eprintf "%s: expected schema v5, found v%d\n" report_path
+        (if sized then "present" else "MISSING")
+        (if loaded then "present" else "MISSING");
+      if r.Obs.Report.version < 6 then begin
+        Printf.eprintf "%s: expected schema v6, found v%d\n" report_path
           r.Obs.Report.version;
         exit 1
       end;
-      if not (hosted && quantiled && has_metrics && sized) then exit 1
+      if not (hosted && quantiled && has_metrics && sized && loaded) then
+        exit 1
   | Error m ->
       Printf.eprintf "%s: FAILED to parse: %s\n" report_path m;
       exit 1
@@ -588,6 +723,7 @@ let () =
   let cmd = match args with [] -> "all" | c :: _ -> c in
   match cmd with
   | "compare" -> compare_reports (List.tl args)
+  | "load" -> run_load (List.tl args)
   | "batch" -> batch ()
   | "micro" -> micro ()
   | "fuzz" -> fuzz_throughput ()
@@ -608,6 +744,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %s (expected fig3..fig7, gat, summary, quick, batch, \
-         micro, fuzz, ablation, relink, check-report, compare, all)\n"
+         micro, fuzz, ablation, relink, load, check-report, compare, all)\n"
         other;
       exit 2

@@ -656,7 +656,28 @@ let serve_cmd =
                    off. Overrides \\$OMLT_LOG. Default when serving: info \
                    (or off with $(b,--quiet)).")
   in
-  let run socket deadline store_dir quiet log_level () =
+  let pool_jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains in the scheduling pool (default: \
+                   max 2 and the host's recommended count; OMLT_JOBS \
+                   also overrides).")
+  in
+  let queue_limit =
+    Arg.(value & opt (some int) None
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Bounded request-queue depth; submissions past it get a \
+                   structured overloaded error with retry_after_ms \
+                   (default 64).")
+  in
+  let drain_ms =
+    Arg.(value & opt (some int) None
+         & info [ "drain-ms" ] ~docv:"MS"
+             ~doc:"On shutdown, finish queued and in-flight requests for \
+                   up to $(docv) before aborting the rest (default 2000).")
+  in
+  let run socket deadline store_dir quiet log_level pool_jobs queue_limit
+      drain_ms () =
     (* daemon diagnostics are JSON-lines on stderr via Obs.Log; the old
        ad-hoc eprintf chatter is gone *)
     (match log_level with
@@ -672,15 +693,19 @@ let serve_cmd =
       | Some d -> Store.create ~dir:(Some d) ()
     in
     let engine = Server.Engine.create ~store () in
-    Server.Daemon.serve ~engine ?socket ?default_deadline_ms:deadline ()
+    Server.Daemon.serve ~engine ?socket ?default_deadline_ms:deadline
+      ?workers:pool_jobs ?queue_limit ?drain_ms ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run omlinkd, the persistent link service: an artifact store plus \
-          incremental relinking behind a Unix-domain socket.")
+          incremental relinking behind a Unix-domain socket, serving many \
+          clients concurrently through a worker-domain pool with in-flight \
+          request coalescing and bounded-queue backpressure.")
     (reporting
-       Term.(const run $ socket_arg $ deadline $ store_dir $ quiet $ log_level))
+       Term.(const run $ socket_arg $ deadline $ store_dir $ quiet $ log_level
+             $ pool_jobs $ queue_limit $ drain_ms))
 
 (* --- metrics: in-process registry dump --- *)
 
@@ -731,6 +756,23 @@ let err_string (e : Server.Protocol.err) =
 let with_daemon socket f =
   Result.join (Server.Client.with_connection ?socket f)
 
+let retries_arg =
+  Arg.(value & opt int 0
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry up to $(docv) times on a refused connection or an \
+                 overloaded daemon, sleeping a jittered exponential backoff \
+                 (or the server's retry_after_ms hint, whichever is larger) \
+                 between attempts. Off by default.")
+
+(* one seam for every client subcommand: plain connect when retries are
+   off, [Server.Client.with_retries] otherwise, errors rendered as
+   strings either way *)
+let with_daemon_retries socket retries f =
+  if retries = 0 then with_daemon socket (fun fd -> Result.map_error err_string (f fd))
+  else
+    Result.map_error err_string
+      (Server.Client.with_retries ~retries ?socket f)
+
 let deadline_arg =
   Arg.(value & opt (some int) None
        & info [ "deadline-ms" ] ~docv:"MS"
@@ -743,15 +785,16 @@ let client_ping_cmd =
              ~doc:"Ask the server to sleep before replying (deadline \
                    testing).")
   in
-  let run socket deadline delay () =
-    with_daemon socket @@ fun fd ->
+  let run socket deadline delay retries () =
+    with_daemon_retries socket retries @@ fun fd ->
     match Server.Client.ping fd ?deadline_ms:deadline ~delay_ms:delay () with
     | Ok _ -> print_endline "pong"; Ok ()
-    | Error e -> Error (err_string e)
+    | Error e -> Error e
   in
   Cmd.v
     (Cmd.info "ping" ~doc:"Round-trip a ping through the daemon.")
-    (reporting Term.(const run $ socket_arg $ deadline_arg $ delay))
+    (reporting
+       Term.(const run $ socket_arg $ deadline_arg $ delay $ retries_arg))
 
 let client_link_cmd =
   let level =
@@ -771,7 +814,7 @@ let client_link_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"Ask for pass spans and print them.")
   in
-  let run files socket deadline level entry out trace () =
+  let run files socket deadline level entry out trace retries () =
     (* the daemon resolves paths itself, so hand it absolute ones *)
     let files =
       List.map
@@ -780,11 +823,11 @@ let client_link_cmd =
           else f)
         files
     in
-    with_daemon socket @@ fun fd ->
+    with_daemon_retries socket retries @@ fun fd ->
     match
       Server.Client.link fd ?deadline_ms:deadline ~trace ?entry ~level files
     with
-    | Error e -> Error (err_string e)
+    | Error e -> Error e
     | Ok (bytes, fields) ->
         let get name conv =
           Option.bind (Server.Client.field name fields) conv
@@ -823,7 +866,7 @@ let client_link_cmd =
     (Cmd.info "link" ~doc:"Link through the daemon (warm caches and all).")
     (reporting
        Term.(const run $ files_arg $ socket_arg $ deadline_arg $ level $ entry
-             $ out $ trace))
+             $ out $ trace $ retries_arg))
 
 let client_stats_cmd =
   let json =
@@ -846,6 +889,19 @@ let client_stats_cmd =
           Printf.printf "uptime   %.1f s\nrequests %d\n"
             (Option.value ~default:0. (get "uptime_s" Obs.Json.get_float))
             (Option.value ~default:0 (get "requests" Obs.Json.get_int));
+          (match Server.Client.field "sched" fields with
+          | Some sched ->
+              let s name =
+                Option.value ~default:0
+                  (Option.bind (Obs.Json.member name sched) Obs.Json.get_int)
+              in
+              Printf.printf
+                "sched    %d workers, queue %d/%d, busy %d; submitted=%d \
+                 completed=%d coalesced=%d shed=%d abandoned=%d\n"
+                (s "workers") (s "queue_depth") (s "queue_limit") (s "busy")
+                (s "submitted") (s "completed") (s "coalesced") (s "shed")
+                (s "abandoned")
+          | None -> ());
           (match Server.Client.field "store" fields with
           | Some store ->
               let m name conv = Option.bind (Obs.Json.member name store) conv in
@@ -874,7 +930,8 @@ let client_stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Print daemon uptime and artifact-store counters (hit/miss/eviction \
+         "Print daemon uptime, scheduling-pool counters (workers, queue, \
+          coalesces, sheds) and artifact-store counters (hit/miss/eviction \
           per artifact kind); $(b,--json) for the raw reply.")
     (reporting Term.(const run $ socket_arg $ json))
 
@@ -951,6 +1008,64 @@ let client_metrics_cmd =
           histograms with p50/p95/p99, cache counters, in-flight gauge.")
     (reporting Term.(const run $ socket_arg $ json))
 
+let client_load_cmd =
+  let profile =
+    let mix_conv =
+      Arg.conv
+        ( (fun s -> Result.map_error (fun m -> `Msg m) (Load.profile_of_string s)),
+          fun ppf p -> Format.pp_print_string ppf (Load.profile_name p) )
+    in
+    Arg.(value & opt mix_conv Load.default_spec.Load.profile
+         & info [ "profile" ] ~docv:"MIX"
+             ~doc:"Request mix: $(b,cold) (every request a distinct \
+                   program), $(b,dup) (all requests the same program), or \
+                   $(b,mixed) (a seeded 70/30 hot/cold blend).")
+  in
+  let clients =
+    Arg.(value & opt int Load.default_spec.Load.clients
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let requests =
+    Arg.(value & opt int Load.default_spec.Load.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Total requests to offer.")
+  in
+  let seed =
+    Arg.(value & opt int Load.default_spec.Load.seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Drives program generation and the mix; the same seed \
+                   replays the same request stream.")
+  in
+  let level =
+    Arg.(value & opt string Load.default_spec.Load.level
+         & info [ "l"; "level" ] ~docv:"LEVEL" ~doc:"Link level.")
+  in
+  let run socket deadline profile clients requests seed level retries () =
+    let spec =
+      { Load.profile; clients; requests; seed; level;
+        deadline_ms = deadline; retries }
+    in
+    match Load.run_against ?socket spec with
+    | Error m -> Error m
+    | Ok r ->
+        List.iter print_endline (Load.summary_lines r);
+        List.iter (Printf.printf "  failure: %s\n") r.Load.r_failures;
+        if r.Load.r_mismatched > 0 then
+          Error
+            (Printf.sprintf "%d replies differ from the serial oracle"
+               r.Load.r_mismatched)
+        else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Fire a deterministic concurrent load at the daemon: N client \
+          threads replaying a seeded hot/cold/duplicate request mix, every \
+          reply checked bit-for-bit against a serial in-process oracle; \
+          prints throughput, latency quantiles, and coalesce/shed counts.")
+    (reporting
+       Term.(const run $ socket_arg $ deadline_arg $ profile $ clients
+             $ requests $ seed $ level $ retries_arg))
+
 let client_shutdown_cmd =
   let run socket () =
     with_daemon socket @@ fun fd ->
@@ -966,7 +1081,7 @@ let client_cmd =
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running omlinkd (see $(b,omlink serve)).")
     [ client_ping_cmd; client_link_cmd; client_stats_cmd; client_metrics_cmd;
-      client_suite_cmd; client_shutdown_cmd ]
+      client_suite_cmd; client_load_cmd; client_shutdown_cmd ]
 
 let main =
   Cmd.group

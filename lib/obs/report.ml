@@ -4,11 +4,13 @@
    adds the optional top-level [latency] quantiles and a [metrics]
    registry snapshot; v5 adds the optional per-image size breakdown
    ([size] on each run, [std_size] on each bench) so the om-gc size story
-   is measurable per level. The reader accepts every version, mapping
-   absent fields to [None]. *)
-let schema_version = 5
+   is measurable per level; v6 adds the optional top-level [load] record
+   (the concurrent-service load-test result: throughput, latency
+   quantiles, coalesce/shed counts). The reader accepts every version,
+   mapping absent fields to [None]. *)
+let schema_version = 6
 
-let accepted_versions = [ 1; 2; 3; 4; 5 ]
+let accepted_versions = [ 1; 2; 3; 4; 5; 6 ]
 
 type bucket = { insns : int; cycles : int }
 type attribution = (string * bucket) list
@@ -53,16 +55,34 @@ type quantiles = {
   q_max_us : int;
 }
 
+type load = {
+  l_profile : string;
+  l_level : string;
+  l_clients : int;
+  l_workers : int;
+  l_requests : int;
+  l_ok : int;
+  l_failed : int;
+  l_overloaded : int;
+  l_timeouts : int;
+  l_coalesced : int;
+  l_mismatched : int;
+  l_wall_s : float;
+  l_throughput_rps : float;
+  l_latency : quantiles;
+}
+
 type t = {
   version : int;
   tool : string;
   results : bench list;
   latency : quantiles option;
   metrics : Json.t option;
+  load : load option;
 }
 
-let make ?(tool = "omlt") ?latency ?metrics results =
-  { version = schema_version; tool; results; latency; metrics }
+let make ?(tool = "omlt") ?latency ?metrics ?load results =
+  { version = schema_version; tool; results; latency; metrics; load }
 
 let attribution_of_profile (p : Attr.t) =
   List.map
@@ -143,13 +163,33 @@ let quantiles_json = function
           ("p99_us", Json.Int q.q_p99_us);
           ("max_us", Json.Int q.q_max_us) ]
 
+let load_json = function
+  | None -> Json.Null
+  | Some l ->
+      Json.Obj
+        [ ("profile", Json.String l.l_profile);
+          ("level", Json.String l.l_level);
+          ("clients", Json.Int l.l_clients);
+          ("workers", Json.Int l.l_workers);
+          ("requests", Json.Int l.l_requests);
+          ("ok", Json.Int l.l_ok);
+          ("failed", Json.Int l.l_failed);
+          ("overloaded", Json.Int l.l_overloaded);
+          ("timeouts", Json.Int l.l_timeouts);
+          ("coalesced", Json.Int l.l_coalesced);
+          ("mismatched", Json.Int l.l_mismatched);
+          ("wall_s", Json.Float l.l_wall_s);
+          ("throughput_rps", Json.Float l.l_throughput_rps);
+          ("latency", quantiles_json (Some l.l_latency)) ]
+
 let to_json t =
   Json.Obj
     [ ("schema_version", Json.Int t.version);
       ("tool", Json.String t.tool);
       ("results", Json.List (List.map bench_json t.results));
       ("latency", quantiles_json t.latency);
-      ("metrics", (match t.metrics with None -> Json.Null | Some m -> m)) ]
+      ("metrics", (match t.metrics with None -> Json.Null | Some m -> m));
+      ("load", load_json t.load) ]
 
 (* --- from json --- *)
 
@@ -285,17 +325,61 @@ let bench_of_json j =
       relink;
       std_size }
 
+let quantiles_fields v =
+  let* q_count = field "count" Json.get_int v in
+  let* q_p50_us = field "p50_us" Json.get_int v in
+  let* q_p95_us = field "p95_us" Json.get_int v in
+  let* q_p99_us = field "p99_us" Json.get_int v in
+  let* q_max_us = field "max_us" Json.get_int v in
+  Ok { q_count; q_p50_us; q_p95_us; q_p99_us; q_max_us }
+
 (* Absent before v4, so a missing field is [None], not an error. *)
 let quantiles_of_json j =
   match Json.member "latency" j with
   | None | Some Json.Null -> Ok None
   | Some v ->
-      let* q_count = field "count" Json.get_int v in
-      let* q_p50_us = field "p50_us" Json.get_int v in
-      let* q_p95_us = field "p95_us" Json.get_int v in
-      let* q_p99_us = field "p99_us" Json.get_int v in
-      let* q_max_us = field "max_us" Json.get_int v in
-      Ok (Some { q_count; q_p50_us; q_p95_us; q_p99_us; q_max_us })
+      let* q = quantiles_fields v in
+      Ok (Some q)
+
+(* Absent before v6, so a missing field is [None], not an error. *)
+let load_of_json j =
+  match Json.member "load" j with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+      let* l_profile = field "profile" Json.get_string v in
+      let* l_level = field "level" Json.get_string v in
+      let* l_clients = field "clients" Json.get_int v in
+      let* l_workers = field "workers" Json.get_int v in
+      let* l_requests = field "requests" Json.get_int v in
+      let* l_ok = field "ok" Json.get_int v in
+      let* l_failed = field "failed" Json.get_int v in
+      let* l_overloaded = field "overloaded" Json.get_int v in
+      let* l_timeouts = field "timeouts" Json.get_int v in
+      let* l_coalesced = field "coalesced" Json.get_int v in
+      let* l_mismatched = field "mismatched" Json.get_int v in
+      let* l_wall_s = field "wall_s" Json.get_float v in
+      let* l_throughput_rps = field "throughput_rps" Json.get_float v in
+      let* l_latency =
+        match Json.member "latency" v with
+        | None | Some Json.Null -> Error "load record carries no latency"
+        | Some q -> quantiles_fields q
+      in
+      Ok
+        (Some
+           { l_profile;
+             l_level;
+             l_clients;
+             l_workers;
+             l_requests;
+             l_ok;
+             l_failed;
+             l_overloaded;
+             l_timeouts;
+             l_coalesced;
+             l_mismatched;
+             l_wall_s;
+             l_throughput_rps;
+             l_latency })
 
 let of_json j =
   let* version = field "schema_version" Json.get_int j in
@@ -320,7 +404,8 @@ let of_json j =
       | None | Some Json.Null -> None
       | Some m -> Some m
     in
-    Ok { version; tool; results = List.rev results; latency; metrics }
+    let* load = load_of_json j in
+    Ok { version; tool; results = List.rev results; latency; metrics; load }
 
 (* --- files --- *)
 

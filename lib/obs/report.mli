@@ -18,11 +18,14 @@
     {!Metrics.to_json} registry snapshot; version 5 added the optional
     per-image size breakdown ([size] on each run, [std_size] on each
     bench) so per-level text/data/GAT byte counts — the om-gc size
-    story — live in the same document as the cycle counts. The reader
-    still accepts earlier documents, surfacing those fields as [None]. *)
+    story — live in the same document as the cycle counts; version 6
+    added the optional top-level [load] record, the concurrent
+    link-service load-test result (throughput, latency quantiles,
+    coalesce/shed/failure counts vs worker count). The reader still
+    accepts earlier documents, surfacing those fields as [None]. *)
 
 val schema_version : int
-(** The version {!make} stamps on new reports (currently 5). *)
+(** The version {!make} stamps on new reports (currently 6). *)
 
 val accepted_versions : int list
 (** The versions {!of_json} understands. *)
@@ -83,16 +86,37 @@ type quantiles = {
 }
 (** Latency quantiles in microseconds (absent before v4). *)
 
+type load = {
+  l_profile : string;        (** request mix: ["cold"], ["dup"], ["mixed"] *)
+  l_level : string;          (** link level the requests asked for *)
+  l_clients : int;           (** concurrent client threads *)
+  l_workers : int;           (** daemon worker domains *)
+  l_requests : int;          (** requests offered *)
+  l_ok : int;
+  l_failed : int;            (** hard failures (not shed, not timed out) *)
+  l_overloaded : int;        (** shed with a structured [overloaded] *)
+  l_timeouts : int;
+  l_coalesced : int;         (** replies marked deduplicated in-flight *)
+  l_mismatched : int;        (** image bytes differing from the oracle *)
+  l_wall_s : float;
+  l_throughput_rps : float;  (** completed requests per wall second *)
+  l_latency : quantiles;     (** per-request round-trip latency *)
+}
+(** One load-generator run against the concurrent daemon (absent
+    before v6). *)
+
 type t = {
   version : int;
   tool : string;
   results : bench list;
   latency : quantiles option;  (** absent before v4 *)
   metrics : Json.t option;     (** registry snapshot; absent before v4 *)
+  load : load option;          (** absent before v6 *)
 }
 
 val make :
-  ?tool:string -> ?latency:quantiles -> ?metrics:Json.t -> bench list -> t
+  ?tool:string -> ?latency:quantiles -> ?metrics:Json.t -> ?load:load ->
+  bench list -> t
 (** [tool] defaults to ["omlt"]. [version] is {!schema_version}. *)
 
 val attribution_of_profile : Attr.t -> attribution

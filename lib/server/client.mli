@@ -18,11 +18,12 @@ val field : string -> (string * Obs.Json.t) list -> Obs.Json.t option
 
 val link :
   Unix.file_descr -> ?deadline_ms:int -> ?trace:bool -> ?entry:string ->
-  level:string -> string list ->
+  ?sources:Protocol.source list -> level:string -> string list ->
   (string * (string * Obs.Json.t) list, Protocol.err) result
 (** Link through the daemon; [Ok (bytes, fields)] carries the serialized
     image (decode with {!Store.Codec.image_of_string}) plus the reply
-    fields. *)
+    fields. [sources] travel inline in the request (no daemon-side file
+    reads); the string list names daemon-side paths as before. *)
 
 val ping :
   Unix.file_descr -> ?deadline_ms:int -> ?delay_ms:int -> unit ->
@@ -38,3 +39,14 @@ val metrics :
 
 val shutdown :
   Unix.file_descr -> ((string * Obs.Json.t) list, Protocol.err) result
+
+val with_retries :
+  ?retries:int -> ?base_ms:int -> ?max_ms:int -> ?seed:int -> ?socket:string ->
+  (Unix.file_descr -> ('a, Protocol.err) result) ->
+  ('a, Protocol.err) result
+(** Run [f] over a fresh connection, retrying up to [retries] times
+    (default 0 — off) when the connection is refused or the daemon
+    answers [overloaded]. Sleeps the larger of a jittered exponential
+    backoff ([base_ms] doubling up to [max_ms]) and the server's
+    [retry_after_ms] hint between attempts. [seed] makes the jitter
+    deterministic. *)

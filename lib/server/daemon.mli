@@ -4,9 +4,16 @@
     long-lived {!Engine.t}, so artifact caches persist across requests
     and a relink after a one-module edit only redoes that module's work.
 
-    Requests carrying a deadline run in a worker domain; on expiry the
-    client receives a structured [timeout] error and the worker is
-    joined lazily once it finishes. *)
+    Connections are served concurrently: each gets a reader and a
+    replier thread, and every piece of real work flows through a
+    {!Sched} worker-domain pool that coalesces identical in-flight
+    requests by content digest and sheds load with a structured
+    [overloaded] error (carrying [retry_after_ms]) when its bounded
+    queue is full. Deadlines are honored while a request is queued: on
+    expiry the client receives a structured [timeout] error. Replies on
+    one connection always come back in request order; up to
+    [conn_inflight] requests per connection pipeline through the pool at
+    once. *)
 
 val default_socket : unit -> string
 (** [$OMLT_SOCKET], defaulting to ["omlinkd.sock"]. *)
@@ -15,16 +22,23 @@ val serve :
   ?engine:Engine.t ->
   ?socket:string ->
   ?default_deadline_ms:int ->
+  ?workers:int ->
+  ?queue_limit:int ->
+  ?conn_inflight:int ->
+  ?drain_ms:int ->
   unit ->
   (unit, string) result
-(** Bind the socket and serve until a [shutdown] request. A leftover
-    socket file with no listener behind it (a crashed daemon) is
-    removed and taken over; a live listener is an error. Returns after
-    shutdown with the socket file removed. Progress and failure
-    diagnostics are {!Obs.Log} events (enable with [OMLT_LOG] or
-    {!Obs.Log.set_level}); request latency, in-flight and error
-    counters land in the engine's metrics registry. *)
+(** Bind the socket and serve until a [shutdown] request or SIGTERM,
+    then drain gracefully: stop accepting, finish queued and in-flight
+    work for up to [drain_ms] (default 2000), flush replies, and tear
+    down. A leftover socket file with no listener behind it (a crashed
+    daemon) is removed and taken over; a live listener is an error.
+    Returns after shutdown with the socket file removed.
 
-val handle : Engine.t -> requests:int -> Protocol.envelope -> Obs.Json.t
-(** One request, in-process — the dispatch the daemon runs behind the
-    socket, exposed for tests. [requests] is echoed by [stats]. *)
+    [workers] and [queue_limit] configure the {!Sched} pool (defaults:
+    [max 2 (Reports.Pool.default_jobs ())] — so [OMLT_JOBS] is honoured
+    — and 64); [conn_inflight] caps pipelined requests per connection
+    (default 8). Progress and failure diagnostics are {!Obs.Log} events
+    (enable with [OMLT_LOG] or {!Obs.Log.set_level}); request latency,
+    in-flight, queue-depth, coalesce/shed and error counters land in
+    the engine's metrics registry. *)

@@ -41,6 +41,13 @@ let create ?store ?(metrics = Obs.Metrics.default) () =
 let store t = t.store
 let metrics t = t.metrics
 
+(* Forcing the same lazy from two domains at once raises
+   [CamlinternalLazy.Undefined]; the daemon warms libstd eagerly before
+   its worker pool exists so every later [Lazy.force] is a cheap read. *)
+let warmup t =
+  ignore (Lazy.force t.libstd : Objfile.Archive.t);
+  ignore (Lazy.force t.libstd_digest : string)
+
 (* Store counters are maintained by [Store] itself; mirror them into the
    registry on demand so every exposition path (daemon metrics reply,
    [omlink metrics], report snapshots) sees fresh values without the
@@ -58,7 +65,12 @@ let sync_store_metrics t =
                ("omlt_store_" ^ field))
             v)
         (Store.counters_to_alist c))
-    [ Store.Cunit; Store.Lifted; Store.Image ]
+    [ Store.Cunit; Store.Lifted; Store.Image ];
+  Obs.Metrics.set_counter
+    (Obs.Metrics.counter ~registry:t.metrics
+       ~help:"Attempted store filesystem operations"
+       "omlt_store_disk_ops_total")
+    (Store.disk_ops t.store)
 
 let count_request t =
   Mutex.protect t.lock (fun () ->
@@ -170,6 +182,7 @@ type link_info = {
   li_cunit : Store.counters;   (* per-request store counter deltas *)
   li_lifted : Store.counters;
   li_image : Store.counters;
+  li_disk_ops : int;           (* filesystem ops this request caused *)
 }
 
 let info_counters_json (i : link_info) =
@@ -178,7 +191,8 @@ let info_counters_json (i : link_info) =
        (fun (name, c) ->
          (name, Json.Obj (List.map (fun (k, v) -> (k, Json.Int v))
                             (Store.counters_to_alist c))))
-       [ ("cunit", i.li_cunit); ("lifted", i.li_lifted); ("image", i.li_image) ])
+       [ ("cunit", i.li_cunit); ("lifted", i.li_lifted); ("image", i.li_image) ]
+    @ [ ("disk_ops", Json.Int i.li_disk_ops) ])
 
 let ( let* ) = Result.bind
 
@@ -194,7 +208,8 @@ let link t ?entry ~level inputs =
   let c0 k = Store.counters t.store k in
   let cunit0 = c0 Store.Cunit
   and lifted0 = c0 Store.Lifted
-  and image0 = c0 Store.Image in
+  and image0 = c0 Store.Image
+  and disk0 = Store.disk_ops t.store in
   let* level = level_of_string level in
   let* units =
     Obs.Trace.span "engine:units" @@ fun () ->
@@ -227,7 +242,8 @@ let link t ?entry ~level inputs =
         li_image_hit = image_hit;
         li_cunit = Store.counters_diff (c0 Store.Cunit) cunit0;
         li_lifted = Store.counters_diff (c0 Store.Lifted) lifted0;
-        li_image = Store.counters_diff (c0 Store.Image) image0 }
+        li_image = Store.counters_diff (c0 Store.Image) image0;
+        li_disk_ops = Store.disk_ops t.store - disk0 }
     in
     Ok (image, stats, info)
   in

@@ -17,6 +17,12 @@ val create : ?store:Store.t -> ?metrics:Obs.Metrics.t -> unit -> t
 val store : t -> Store.t
 val metrics : t -> Obs.Metrics.t
 
+val warmup : t -> unit
+(** Force the lazily-loaded standard library (and its digest) now.
+    Forcing the same lazy concurrently from two domains raises, so
+    anything about to share an engine across a worker pool — the daemon,
+    the load harness — warms it first. *)
+
 val sync_store_metrics : t -> unit
 (** Mirror the store's per-kind counters into the metrics registry as
     [omlt_store_*{kind=...}] counters. Exposition paths call this just
@@ -53,6 +59,9 @@ type link_info = {
   li_lifted : Store.counters;
   li_image : Store.counters;
       (** the three counter fields are per-request deltas, not totals *)
+  li_disk_ops : int;
+      (** filesystem operations this link caused; 0 proves the request
+          was served entirely from memory *)
 }
 
 val info_counters_json : link_info -> Obs.Json.t

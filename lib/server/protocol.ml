@@ -98,12 +98,19 @@ let hex_decode s =
 
 (* --- requests --- *)
 
+type source = { src_name : string; src_text : string }
+
 type request =
   | Ping of { delay_ms : int }
       (** [delay_ms] makes the handler sleep — a deterministic way to
           exercise deadlines. *)
-  | Compile of { files : string list }
-  | Link of { files : string list; level : string; entry : string option }
+  | Compile of { files : string list; sources : source list }
+  | Link of {
+      files : string list;
+      sources : source list;
+      level : string;
+      entry : string option;
+    }
   | Stats
   | Metrics
   | Suite of { bench : string option; jobs : int option }
@@ -126,16 +133,31 @@ let kind_of_request = function
   | Suite _ -> "suite"
   | Shutdown -> "shutdown"
 
+let sources_field = function
+  | [] -> []
+  | sources ->
+      [ ( "sources",
+          Json.List
+            (List.map
+               (fun s ->
+                 Json.Obj
+                   [ ("name", Json.String s.src_name);
+                     ("text", Json.String s.src_text) ])
+               sources) ) ]
+
+let files_field = function
+  | [] -> []
+  | files -> [ ("files", Json.List (List.map (fun f -> Json.String f) files)) ]
+
 let request_to_json (e : envelope) =
   let base =
     match e.req with
     | Ping { delay_ms } ->
         if delay_ms = 0 then [] else [ ("delay_ms", Json.Int delay_ms) ]
-    | Compile { files } ->
-        [ ("files", Json.List (List.map (fun f -> Json.String f) files)) ]
-    | Link { files; level; entry } ->
-        [ ("files", Json.List (List.map (fun f -> Json.String f) files));
-          ("level", Json.String level) ]
+    | Compile { files; sources } -> files_field files @ sources_field sources
+    | Link { files; sources; level; entry } ->
+        files_field files @ sources_field sources
+        @ [ ("level", Json.String level) ]
         @ (match entry with
           | None -> []
           | Some e -> [ ("entry", Json.String e) ])
@@ -172,7 +194,25 @@ let string_list_field name j =
       in
       go [] l
   | Some _ -> Error (Printf.sprintf "field %S must be a list" name)
-  | None -> Error (Printf.sprintf "missing field %S" name)
+  | None -> Ok []
+
+let sources_of_json j =
+  match Json.member "sources" j with
+  | None -> Ok []
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match
+              ( Option.bind (Json.member "name" item) Json.get_string,
+                Option.bind (Json.member "text" item) Json.get_string )
+            with
+            | Some src_name, Some src_text ->
+                go ({ src_name; src_text } :: acc) rest
+            | _ -> Error "each source needs string fields \"name\" and \"text\"")
+      in
+      go [] l
+  | Some _ -> Error "field \"sources\" must be a list"
 
 let request_of_json j =
   let ( let* ) = Result.bind in
@@ -188,12 +228,24 @@ let request_of_json j =
         Ok (Ping { delay_ms = Option.value delay ~default:0 })
     | "compile" ->
         let* files = string_list_field "files" j in
-        Ok (Compile { files })
+        let* sources = sources_of_json j in
+        if files = [] && sources = [] then
+          Error "compile needs \"files\" or \"sources\""
+        else Ok (Compile { files; sources })
     | "link" ->
         let* files = string_list_field "files" j in
+        let* sources = sources_of_json j in
         let* level = opt_member "level" Json.get_string j in
         let* entry = opt_member "entry" Json.get_string j in
-        Ok (Link { files; level = Option.value level ~default:"full"; entry })
+        if files = [] && sources = [] then
+          Error "link needs \"files\" or \"sources\""
+        else
+          Ok
+            (Link
+               { files;
+                 sources;
+                 level = Option.value level ~default:"full";
+                 entry })
     | "stats" -> Ok Stats
     | "metrics" -> Ok Metrics
     | "suite" ->
@@ -209,16 +261,22 @@ let request_of_json j =
 
 (* --- responses --- *)
 
-type err = { code : string; message : string }
+type err = { code : string; message : string; retry_after_ms : int option }
+
+let err ?retry_after_ms code message = { code; message; retry_after_ms }
 
 let ok_response fields = Json.Obj (("ok", Json.Bool true) :: fields)
 
-let error_response ~code message =
+let error_response ?retry_after_ms ~code message =
   Json.Obj
     [ ("ok", Json.Bool false);
       ( "error",
         Json.Obj
-          [ ("code", Json.String code); ("message", Json.String message) ] ) ]
+          ([ ("code", Json.String code); ("message", Json.String message) ]
+          @
+          match retry_after_ms with
+          | None -> []
+          | Some ms -> [ ("retry_after_ms", Json.Int ms) ]) ) ]
 
 let response_result j =
   match Json.member "ok" j with
@@ -228,11 +286,13 @@ let response_result j =
           Ok (List.filter (fun (k, _) -> k <> "ok") fields)
       | _ -> Ok [])
   | Some (Json.Bool false) -> (
-      let get name =
+      let e name conv =
         Option.bind (Json.member "error" j) (fun e ->
-            Option.bind (Json.member name e) Json.get_string)
+            Option.bind (Json.member name e) conv)
       in
-      match (get "code", get "message") with
-      | Some code, Some message -> Error { code; message }
-      | _ -> Error { code = "protocol"; message = "malformed error reply" })
-  | _ -> Error { code = "protocol"; message = "reply carries no ok field" }
+      match (e "code" Json.get_string, e "message" Json.get_string) with
+      | Some code, Some message ->
+          Error
+            { code; message; retry_after_ms = e "retry_after_ms" Json.get_int }
+      | _ -> Error (err "protocol" "malformed error reply"))
+  | _ -> Error (err "protocol" "reply carries no ok field")

@@ -23,12 +23,22 @@ val recv : Unix.file_descr -> received
 val hex_encode : string -> string
 val hex_decode : string -> (string, string) result
 
+type source = { src_name : string; src_text : string }
+(** An inline compilation input: name + minic source text travelling in
+    the request itself, so the daemon's request→image path never touches
+    the filesystem. *)
+
 type request =
   | Ping of { delay_ms : int }
       (** [delay_ms] makes the handler sleep before replying — a
           deterministic way to exercise deadlines. *)
-  | Compile of { files : string list }
-  | Link of { files : string list; level : string; entry : string option }
+  | Compile of { files : string list; sources : source list }
+  | Link of {
+      files : string list;
+      sources : source list;
+      level : string;
+      entry : string option;
+    }  (** [files] are daemon-side paths; [sources] are inline. *)
   | Stats
   | Metrics
       (** live registry snapshot: the reply carries [metrics] (JSON) and
@@ -48,10 +58,14 @@ val kind_of_request : request -> string
 val request_to_json : envelope -> Obs.Json.t
 val request_of_json : Obs.Json.t -> (envelope, string) result
 
-type err = { code : string; message : string }
+type err = { code : string; message : string; retry_after_ms : int option }
+(** [retry_after_ms] rides on [overloaded] errors: the server's estimate
+    of when retrying is worthwhile. *)
+
+val err : ?retry_after_ms:int -> string -> string -> err
 
 val ok_response : (string * Obs.Json.t) list -> Obs.Json.t
-val error_response : code:string -> string -> Obs.Json.t
+val error_response : ?retry_after_ms:int -> code:string -> string -> Obs.Json.t
 
 val response_result :
   Obs.Json.t -> ((string * Obs.Json.t) list, err) result

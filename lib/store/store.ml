@@ -93,6 +93,9 @@ type t = {
   table : (kind * string, entry) Hashtbl.t;
   mutable bytes : int;
   mutable clock : int;
+  (* every attempted disk open, read or write — the "did we touch the
+     filesystem at all?" probe behind the daemon's in-memory guarantee *)
+  mutable m_disk_ops : int;
   cn : (kind * mut_counters) list;  (* one slot per kind *)
 }
 
@@ -109,6 +112,7 @@ let create ?dir ?(mem_capacity = 256 * 1024 * 1024) () =
     table = Hashtbl.create 64;
     bytes = 0;
     clock = 0;
+    m_disk_ops = 0;
     cn = List.map (fun k -> (k, mut_zero ())) all_kinds }
 
 let in_memory () = create ~dir:None ()
@@ -141,6 +145,7 @@ let disk_write t kind ~key value =
   match t.t_dir with
   | None -> ()
   | Some dir -> (
+      t.m_disk_ops <- t.m_disk_ops + 1;
       try
         let path = entry_path dir kind key in
         mkdir_p (Filename.dirname path);
@@ -163,6 +168,7 @@ let disk_read t kind ~key =
   match t.t_dir with
   | None -> None
   | Some dir -> (
+      t.m_disk_ops <- t.m_disk_ops + 1;
       let path = entry_path dir kind key in
       match
         let ic = open_in_bin path in
@@ -251,6 +257,8 @@ let counters_total t =
   List.fold_left (fun acc (_, m) -> counters_add acc (snapshot m)) counters_zero
     t.cn
 
+let disk_ops t = Mutex.protect t.lock @@ fun () -> t.m_disk_ops
+
 let mem_entries t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.table
 let mem_bytes t = Mutex.protect t.lock @@ fun () -> t.bytes
 
@@ -280,7 +288,13 @@ module Codec = struct
   let lifted_of_string s : (Om.Lift.module_sym, string) result =
     marshal_of_string "lifted module" s
 
-  let image_to_string (i : Linker.Image.t) = Marshal.to_string i []
+  (* [No_sharing] canonicalizes the bytes: physical sharing inside an
+     image varies with how it was produced (fresh lifts vs store
+     round-trips), and image digests — the whole-image cache key and the
+     daemon's bit-identity story — must depend on content only. The
+     image type is acyclic plain data, so the flag is safe. *)
+  let image_to_string (i : Linker.Image.t) =
+    Marshal.to_string i [ Marshal.No_sharing ]
 
   let image_of_string s : (Linker.Image.t, string) result =
     marshal_of_string "image" s

@@ -75,6 +75,12 @@ val counters : t -> kind -> counters
 
 val counters_total : t -> counters
 
+val disk_ops : t -> int
+(** Total attempted filesystem operations (reads and writes) since the
+    store was created. A memory-only store reports 0 forever; a
+    disk-backed store reports 0 deltas on fully-warm requests — the
+    daemon's proof that its hot path never leaves memory. *)
+
 val mem_entries : t -> int
 val mem_bytes : t -> int
 

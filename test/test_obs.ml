@@ -618,7 +618,7 @@ let test_trace_multidomain () =
       Alcotest.(check int) "worker span depth" 0 s.Obs.Trace.depth)
     task_spans
 
-(* --- Report v3/v5 side by side --- *)
+(* --- Report v3/v6 side by side --- *)
 
 let v3_doc () =
   Obs.Json.Obj
@@ -641,40 +641,68 @@ let v3_doc () =
                     [ ("cold_s", Obs.Json.Float 0.2);
                       ("warm_s", Obs.Json.Float 0.05) ] ) ] ] ) ]
 
-let test_report_accepts_v3_and_v5 () =
-  (* v3: no latency/metrics fields — they surface as None *)
+let test_report_accepts_v3_and_v6 () =
+  (* v3: no latency/metrics/load fields — they surface as None *)
   (match Obs.Report.of_json (v3_doc ()) with
   | Error m -> Alcotest.failf "v3 document rejected: %s" m
   | Ok r ->
       Alcotest.(check bool) "v3 latency is None" true (r.Obs.Report.latency = None);
       Alcotest.(check bool) "v3 metrics is None" true (r.Obs.Report.metrics = None);
+      Alcotest.(check bool) "v3 load is None" true (r.Obs.Report.load = None);
       Alcotest.(check bool) "v3 relink survives" true
         ((List.hd r.Obs.Report.results).Obs.Report.relink <> None));
-  (* v5: fresh reports carry quantiles, a metrics snapshot, and sizes *)
-  Alcotest.(check int) "make stamps v5" 5 Obs.Report.schema_version;
+  (* v6: fresh reports carry quantiles, a metrics snapshot, and the
+     load-test record *)
+  Alcotest.(check int) "make stamps v6" 6 Obs.Report.schema_version;
   let reg = Obs.Metrics.create () in
   let h = Obs.Metrics.histogram ~registry:reg "lat_us" in
   List.iter (Obs.Metrics.observe h) [ 10; 20; 30 ];
+  let load =
+    { Obs.Report.l_profile = "mixed";
+      l_level = "full";
+      l_clients = 4;
+      l_workers = 2;
+      l_requests = 100;
+      l_ok = 100;
+      l_failed = 0;
+      l_overloaded = 0;
+      l_timeouts = 0;
+      l_coalesced = 37;
+      l_mismatched = 0;
+      l_wall_s = 1.5;
+      l_throughput_rps = 66.7;
+      l_latency =
+        { Obs.Report.q_count = 100; q_p50_us = 900; q_p95_us = 4000;
+          q_p99_us = 9000; q_max_us = 12000 } }
+  in
   let r4 =
     Obs.Report.make ~tool:"test"
       ~latency:
         { Obs.Report.q_count = 3; q_p50_us = 20; q_p95_us = 30; q_p99_us = 30;
           q_max_us = 30 }
-      ~metrics:(Obs.Metrics.to_json reg) []
+      ~metrics:(Obs.Metrics.to_json reg) ~load []
   in
-  let path = Filename.temp_file "obs_report_v5" ".json" in
+  let path = Filename.temp_file "obs_report_v6" ".json" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   Obs.Report.write path r4;
   match Obs.Report.read path with
-  | Error m -> Alcotest.failf "v4 read failed: %s" m
+  | Error m -> Alcotest.failf "v6 read failed: %s" m
   | Ok r' -> (
-      Alcotest.(check int) "version" 5 r'.Obs.Report.version;
+      Alcotest.(check int) "version" 6 r'.Obs.Report.version;
       (match r'.Obs.Report.latency with
       | Some q ->
           Alcotest.(check int) "q_count" 3 q.Obs.Report.q_count;
           Alcotest.(check int) "q_p50" 20 q.Obs.Report.q_p50_us;
           Alcotest.(check int) "q_max" 30 q.Obs.Report.q_max_us
       | None -> Alcotest.fail "latency lost");
+      (match r'.Obs.Report.load with
+      | Some l ->
+          Alcotest.(check string) "load profile" "mixed" l.Obs.Report.l_profile;
+          Alcotest.(check int) "load ok" 100 l.Obs.Report.l_ok;
+          Alcotest.(check int) "load coalesced" 37 l.Obs.Report.l_coalesced;
+          Alcotest.(check int) "load p99" 9000
+            l.Obs.Report.l_latency.Obs.Report.q_p99_us
+      | None -> Alcotest.fail "load lost");
       match r'.Obs.Report.metrics with
       | Some m ->
           Alcotest.(check bool) "metrics snapshot survives" true
@@ -788,6 +816,6 @@ let suite =
       Alcotest.test_case "metrics across domains" `Quick
         test_metrics_multidomain;
       Alcotest.test_case "trace across domains" `Quick test_trace_multidomain;
-      Alcotest.test_case "report accepts v3 and v5" `Quick
-        test_report_accepts_v3_and_v5;
+      Alcotest.test_case "report accepts v3 and v6" `Quick
+        test_report_accepts_v3_and_v6;
       Alcotest.test_case "compare regression gate" `Quick test_compare_gate ] )

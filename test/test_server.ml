@@ -19,10 +19,20 @@ let test_request_roundtrips () =
   let cases =
     [ P.request (P.Ping { delay_ms = 0 });
       P.request ~deadline_ms:250 (P.Ping { delay_ms = 40 });
-      P.request (P.Compile { files = [ "a.mc"; "b.o" ] });
+      P.request (P.Compile { files = [ "a.mc"; "b.o" ]; sources = [] });
       P.request ~trace:true
-        (P.Link { files = [ "x.mc" ]; level = "sched"; entry = Some "main" });
-      P.request (P.Link { files = []; level = "full"; entry = None });
+        (P.Link
+           { files = [ "x.mc" ];
+             sources = [];
+             level = "sched";
+             entry = Some "main" });
+      P.request
+        (P.Link
+           { files = [];
+             sources =
+               [ { P.src_name = "m.mc"; src_text = "func main() { return 0; }" } ];
+             level = "full";
+             entry = None });
       P.request P.Stats;
       P.request (P.Suite { bench = Some "li"; jobs = Some 2 });
       P.request (P.Suite { bench = None; jobs = None });
@@ -518,6 +528,265 @@ let test_daemon_refuses_second_instance () =
   | Ok () -> ()
   | Error m -> Alcotest.failf "daemon exited with: %s" m
 
+(* --- the concurrent service under adversarial shapes --- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* spawn a hermetic daemon with the given pool shape, hand the test its
+   socket, and always reap it — even when the test body fails, and even
+   when the test shut the daemon down itself *)
+let with_test_daemon ?workers ?queue_limit
+    ?(store = fun (_ : string) -> Store.in_memory ()) f =
+  let dir = tmp_sources () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+  @@ fun () ->
+  let socket = Filename.concat dir "d.sock" in
+  let engine =
+    Server.Engine.create ~store:(store dir) ~metrics:(Obs.Metrics.create ()) ()
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Server.Daemon.serve ~engine ~socket ?workers ?queue_limit ())
+  in
+  let rec connect tries =
+    match Server.Client.connect ~socket () with
+    | Ok fd -> fd
+    | Error m ->
+        if tries = 0 then Alcotest.failf "could not connect: %s" m
+        else begin
+          Unix.sleepf 0.05;
+          connect (tries - 1)
+        end
+  in
+  (* the daemon binds asynchronously: wait until it answers *)
+  Server.Client.close (connect 100);
+  Fun.protect
+    ~finally:(fun () ->
+      (* a test may have stopped the daemon itself: connecting can then
+         fail or reset mid-roundtrip — either way, just reap the domain *)
+      (try
+         ignore
+           (Server.Client.with_connection ~socket (fun fd ->
+                Server.Client.shutdown fd))
+       with Unix.Unix_error _ -> ());
+      match Domain.join server with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "daemon exited with: %s" m)
+  @@ fun () -> f ~socket ~connect:(fun () -> connect 3)
+
+(* pipeline requests on one connection and collect one reply each, in
+   order — the daemon promises in-order replies per connection *)
+let pipeline_roundtrip fd reqs =
+  List.iter (fun env -> P.send fd (P.request_to_json env)) reqs;
+  List.map
+    (fun _ ->
+      match P.recv fd with
+      | P.Frame j -> j
+      | P.Eof -> Alcotest.fail "connection closed mid-pipeline"
+      | P.Bad m -> Alcotest.failf "bad frame mid-pipeline: %s" m)
+    reqs
+
+let test_daemon_backpressure () =
+  with_test_daemon ~workers:1 ~queue_limit:1 @@ fun ~socket:_ ~connect ->
+  let fd = connect () in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  (* one slow ping occupies the single worker, one fits the queue, and
+     anything past that MUST be shed with a structured reply — the
+     acceptance criterion is "overloaded, never a hang" *)
+  let replies =
+    pipeline_roundtrip fd
+      (List.init 4 (fun _ -> P.request (P.Ping { delay_ms = 300 })))
+  in
+  let pongs = ref 0 and shed = ref 0 in
+  List.iteri
+    (fun i j ->
+      match P.response_result j with
+      | Ok _ -> incr pongs
+      | Error e ->
+          Alcotest.(check string)
+            (Printf.sprintf "reply %d error code" i)
+            "overloaded" e.P.code;
+          (match e.P.retry_after_ms with
+          | Some ms ->
+              Alcotest.(check bool) "retry hint positive" true (ms > 0)
+          | None -> Alcotest.fail "overloaded reply lost its retry hint");
+          incr shed)
+    replies;
+  Alcotest.(check int) "every request answered" 4 (!pongs + !shed);
+  Alcotest.(check bool) "accepted requests completed" true (!pongs >= 1);
+  Alcotest.(check bool) "load beyond the queue was shed" true (!shed >= 1);
+  match P.response_result (List.hd replies) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "the first request must be accepted"
+
+let test_daemon_drains_on_shutdown () =
+  with_test_daemon ~workers:1 @@ fun ~socket:_ ~connect ->
+  let fd = connect () in
+  let replies =
+    Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+    (* shutdown arrives while the ping is still in flight: the daemon
+       must finish the work, flush both replies in order, then stop *)
+    pipeline_roundtrip fd
+      [ P.request (P.Ping { delay_ms = 300 }); P.request P.Shutdown ]
+  in
+  match List.map P.response_result replies with
+  | [ Ok ping_fields; Ok stop_fields ] ->
+      Alcotest.(check bool) "in-flight ping finished before teardown" true
+        (match Server.Client.field "pong" ping_fields with
+        | Some (Json.Bool b) -> b
+        | _ -> false);
+      Alcotest.(check bool) "shutdown acknowledged" true
+        (match Server.Client.field "stopping" stop_fields with
+        | Some (Json.Bool b) -> b
+        | _ -> false)
+  | _ -> Alcotest.fail "expected two ok replies, in request order"
+
+let test_daemon_warm_link_zero_disk_ops () =
+  let sources =
+    [ { P.src_name = "util.mc"; src_text = util_src };
+      { P.src_name = "main.mc"; src_text = main_src } ]
+  in
+  let disk_ops fields =
+    match Server.Client.field "store" fields with
+    | Some (Json.Obj store) -> (
+        match Server.Client.field "disk_ops" store with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.fail "store counters lost disk_ops")
+    | _ -> Alcotest.fail "reply lost its store counters"
+  in
+  with_test_daemon
+    ~store:(fun dir ->
+      Store.create ~dir:(Some (Filename.concat dir "store")) ())
+  @@ fun ~socket:_ ~connect ->
+  let fd = connect () in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  let link () =
+    match Server.Client.link fd ~sources ~level:"full" [] with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "daemon link failed: %s" e.P.message
+  in
+  let cold_bytes, cold_fields = link () in
+  Alcotest.(check bool) "cold link writes artifacts to disk" true
+    (disk_ops cold_fields > 0);
+  let warm_bytes, warm_fields = link () in
+  Alcotest.(check string) "warm duplicate bit-identical" cold_bytes warm_bytes;
+  Alcotest.(check bool) "warm duplicate is an image hit" true
+    (match
+       Option.bind (Server.Client.field "image_hit" warm_fields) Json.get_bool
+     with
+    | Some b -> b
+    | None -> false);
+  (* the satellite criterion: a warm request→image round trip is served
+     entirely from memory, proven by the per-request disk-ops delta *)
+  Alcotest.(check int) "warm duplicate causes zero disk ops" 0
+    (disk_ops warm_fields)
+
+let test_daemon_concurrent_clients () =
+  with_test_daemon ~workers:2 @@ fun ~socket ~connect ->
+  let run profile =
+    let spec =
+      { Load.default_spec with
+        Load.profile;
+        clients = 4;
+        requests = 16;
+        retries = 4 }
+    in
+    match Load.run_against ~socket spec with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "load run failed: %s" m
+  in
+  (* every concurrent reply is digest-checked against a serial
+     in-process oracle by the harness itself *)
+  let dup = run Load.Dup in
+  Alcotest.(check int) "dup: every request succeeded" 16 dup.Load.r_ok;
+  Alcotest.(check int) "dup: bit-identical to in-process links" 0
+    dup.Load.r_mismatched;
+  Alcotest.(check bool) "dup: concurrent duplicates coalesced" true
+    (dup.Load.r_coalesced > 0);
+  let mixed = run Load.Mixed in
+  Alcotest.(check int) "mixed: every request succeeded" 16 mixed.Load.r_ok;
+  Alcotest.(check int) "mixed: bit-identical to in-process links" 0
+    mixed.Load.r_mismatched;
+  (* the daemon's own counters saw the coalescing *)
+  let fd = connect () in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  match Server.Client.stats fd with
+  | Error e -> Alcotest.failf "stats failed: %s" e.P.message
+  | Ok fields -> (
+      match Server.Client.field "sched" fields with
+      | Some (Json.Obj sched) ->
+          (match Server.Client.field "coalesced" sched with
+          | Some (Json.Int n) ->
+              Alcotest.(check bool) "sched counted coalesces" true (n > 0)
+          | _ -> Alcotest.fail "sched stats lost coalesced")
+      | _ -> Alcotest.fail "stats reply lost sched")
+
+let test_client_retries_ride_out_overload () =
+  with_test_daemon ~workers:1 ~queue_limit:1 @@ fun ~socket ~connect ->
+  let fd = connect () in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  (* two slow pings saturate the pool: one running, one queued. They
+     are sent in two steps — a back-to-back pair can race the worker's
+     pickup of the first and get shed off the size-1 queue instead of
+     occupying it. Stats answers inline, so polling it never competes
+     for the queue. *)
+  let sched_int name fields =
+    match Server.Client.field "sched" fields with
+    | Some (Json.Obj sched) -> (
+        match Server.Client.field name sched with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.failf "sched stats lost %s" name)
+    | _ -> Alcotest.fail "stats reply lost sched"
+  in
+  let rec wait_for what pred tries =
+    if tries = 0 then Alcotest.failf "pool never reached %s" what
+    else
+      let reached =
+        match
+          Server.Client.with_connection ~socket (fun fd2 ->
+              Server.Client.stats fd2)
+        with
+        | Ok (Ok fields) -> pred fields
+        | _ -> false
+      in
+      if not reached then begin
+        Unix.sleepf 0.01;
+        wait_for what pred (tries - 1)
+      end
+  in
+  P.send fd (P.request_to_json (P.request (P.Ping { delay_ms = 1500 })));
+  wait_for "a busy worker" (fun f -> sched_int "busy" f >= 1) 100;
+  P.send fd (P.request_to_json (P.request (P.Ping { delay_ms = 1500 })));
+  wait_for "a full queue" (fun f -> sched_int "queue_depth" f >= 1) 100;
+  (* without retries the saturated daemon sheds immediately ... *)
+  (match
+     Server.Client.with_connection ~socket (fun fd2 ->
+         Server.Client.ping fd2 ())
+   with
+  | Ok (Error e) ->
+      Alcotest.(check string) "shed without retries" "overloaded" e.P.code
+  | Ok (Ok _) -> Alcotest.fail "expected the saturated pool to shed"
+  | Error m -> Alcotest.failf "probe connect failed: %s" m);
+  (* ... and with retries the client rides the overload out *)
+  (match
+     Server.Client.with_retries ~retries:10 ~base_ms:50 ~seed:7 ~socket
+       (fun fd2 -> Server.Client.ping fd2 ())
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "retries exhausted: %s" e.P.message);
+  (* drain the slow pings so the shutdown in the harness is clean *)
+  List.iter
+    (fun _ ->
+      match P.recv fd with
+      | P.Frame _ -> ()
+      | P.Eof | P.Bad _ -> Alcotest.fail "slow ping reply lost")
+    [ (); () ]
+
 let suite =
   ( "server",
     [ Alcotest.test_case "requests round-trip the wire format" `Quick
@@ -542,4 +811,14 @@ let suite =
       Alcotest.test_case "bench compare gates regressions" `Quick
         test_bench_compare_exit_codes;
       Alcotest.test_case "daemon refuses a second instance" `Quick
-        test_daemon_refuses_second_instance ] )
+        test_daemon_refuses_second_instance;
+      Alcotest.test_case "bounded queue sheds with overloaded" `Quick
+        test_daemon_backpressure;
+      Alcotest.test_case "shutdown drains in-flight work" `Quick
+        test_daemon_drains_on_shutdown;
+      Alcotest.test_case "warm duplicate link causes zero disk ops" `Quick
+        test_daemon_warm_link_zero_disk_ops;
+      Alcotest.test_case "concurrent clients: bit-identical and coalesced"
+        `Quick test_daemon_concurrent_clients;
+      Alcotest.test_case "client retries ride out overload" `Quick
+        test_client_retries_ride_out_overload ] )
