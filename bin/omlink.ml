@@ -585,14 +585,22 @@ let fuzz_cmd =
              ~doc:"With --replay: print the generated minic modules before \
                    running the oracles.")
   in
-  let run seed count jobs out no_repro replay dump () =
+  let span_stress =
+    Arg.(value & flag
+         & info [ "span-stress" ]
+             ~doc:"Bias generation toward span boundaries: data straddling \
+                   the GP window edge, padded procedures stretching branch \
+                   spans, and ldah/lda pair-edge literals. Applies to \
+                   campaigns and to --replay.")
+  in
+  let run seed count jobs out no_repro replay dump span_stress () =
     match replay with
     | Some cs -> (
         if dump then
           List.iter
             (fun (name, src) -> Printf.printf "// --- %s ---\n%s\n" name src)
-            (Fuzz.Prog.render (Fuzz.Gen.program cs));
-        match Fuzz.run_case cs with
+            (Fuzz.Prog.render (Fuzz.Gen.program ~span_stress cs));
+        match Fuzz.run_case ~span_stress cs with
         | Ok () ->
             Printf.printf "case seed %d: all oracles passed\n" cs;
             Ok ()
@@ -604,7 +612,9 @@ let fuzz_cmd =
           Printf.eprintf "\rfuzz: %d/%d cases, %d failure(s)%!" done_ total
             failed
         in
-        let r = Fuzz.campaign ?jobs ~out_dir ~progress ~seed ~count () in
+        let r =
+          Fuzz.campaign ?jobs ~out_dir ~progress ~span_stress ~seed ~count ()
+        in
         Printf.eprintf "\n%!";
         Format.printf "%a@." Fuzz.pp_report r;
         if r.Fuzz.failed = [] then Ok ()
@@ -622,7 +632,9 @@ let fuzz_cmd =
           agreement between the two simulators. Failures are shrunk to \
           minimal reproducers.")
     (reporting
-       Term.(const run $ seed $ count $ jobs $ out $ no_repro $ replay $ dump))
+       Term.(
+         const run $ seed $ count $ jobs $ out $ no_repro $ replay $ dump
+         $ span_stress))
 
 (* --- serve: the persistent link daemon --- *)
 

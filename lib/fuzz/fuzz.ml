@@ -4,7 +4,9 @@ module Gen = Gen
 module Oracle = Oracle
 
 let case_seed ~seed ~index = Rng.derive seed index
-let run_case cs = Oracle.check (Gen.program cs)
+
+let run_case ?(span_stress = false) cs =
+  Oracle.check (Gen.program ~span_stress cs)
 
 let shrink ?(max_checks = 2000) prog failure =
   let checks = ref 0 in
@@ -79,7 +81,8 @@ let write_reproducer ~out_dir ~seed r =
   write_file (Filename.concat dir "README.md") readme;
   dir
 
-let campaign ?jobs ?(out_dir = Some "_fuzz") ?progress ~seed ~count () =
+let campaign ?jobs ?(out_dir = Some "_fuzz") ?progress ?(span_stress = false)
+    ~seed ~count () =
   let jobs =
     match jobs with Some j -> j | None -> Reports.Pool.default_jobs ()
   in
@@ -100,7 +103,7 @@ let campaign ?jobs ?(out_dir = Some "_fuzz") ?progress ~seed ~count () =
         Reports.Pool.map ~jobs
           (fun index ->
             let cs = case_seed ~seed ~index in
-            match run_case cs with
+            match run_case ~span_stress cs with
             | Ok () -> None
             | Error f -> Some (index, cs, f))
           indices
@@ -119,7 +122,7 @@ let campaign ?jobs ?(out_dir = Some "_fuzz") ?progress ~seed ~count () =
   let failed =
     List.rev_map
       (fun (index, cs, f) ->
-        let prog = Gen.program cs in
+        let prog = Gen.program ~span_stress cs in
         let shrunk, shrunk_failure = shrink prog f in
         let r =
           {

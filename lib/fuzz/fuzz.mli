@@ -18,10 +18,11 @@ val case_seed : seed:int -> index:int -> int
 (** The derived seed for case [index] of a campaign: mixing, not
     [seed + index], so neighbouring campaigns don't share cases. *)
 
-val run_case : int -> (unit, Oracle.failure) result
+val run_case : ?span_stress:bool -> int -> (unit, Oracle.failure) result
 (** Generate the program for one derived case seed and run all oracles
     over it. [run_case (case_seed ~seed ~index)] replays exactly case
-    [index] of campaign [seed]. *)
+    [index] of campaign [seed]; pass the campaign's [span_stress] to
+    replay a span-stress case. *)
 
 val shrink :
   ?max_checks:int -> Prog.t -> Oracle.failure -> Prog.t * Oracle.failure
@@ -56,6 +57,7 @@ val campaign :
   ?jobs:int ->
   ?out_dir:string option ->
   ?progress:(done_:int -> total:int -> failed:int -> unit) ->
+  ?span_stress:bool ->
   seed:int ->
   count:int ->
   unit ->
@@ -65,6 +67,8 @@ val campaign :
     are identical whatever [jobs] is. [out_dir] defaults to
     [Some "_fuzz"]; pass [None] to skip writing reproducers.
     [progress] is called between parallel chunks. Shrinking runs
-    serially after the sweep (failures are expected to be rare). *)
+    serially after the sweep (failures are expected to be rare).
+    [span_stress] (default off) draws every case from {!Gen.program}'s
+    span-boundary-biased mode. *)
 
 val pp_report : Format.formatter -> report -> unit

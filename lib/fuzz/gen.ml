@@ -15,6 +15,12 @@ let constants =
     65535L; 1000000L; 2654435761L; 4294967295L; 123456789123L;
     0x7FFFFFFFFFFFFFFFL; -1L; -2L; -255L; -32768L; -123456789123L ]
 
+(* Extra literals the span-stress mode mixes in: both sides of the
+   ldah/lda pair span (materialized vs pooled) and the GP-window width
+   itself. *)
+let span_constants =
+  [ 0x7fff7fffL; 0x7fff8000L; -0x80008000L; -0x80008001L; 0xffefL ]
+
 (* globally-visible function metadata, decided before bodies exist *)
 type fsig = {
   s_name : string;
@@ -41,6 +47,7 @@ type fctx = {
   mutable fresh : int;
   callables : fsig list;          (* direct-call candidates *)
   pvs : (string * int) list;      (* (pv global, arity) usable here *)
+  consts : int64 list;            (* literal pool for leaves *)
 }
 
 let fresh c prefix =
@@ -62,7 +69,7 @@ let gen_leaf c (env : genv) =
     @ if env.arrays <> [] then [ (2, `Idx) ] else []
   in
   match Rng.weighted c.rng choices with
-  | `Const -> P.Int (Rng.choose c.rng constants)
+  | `Const -> P.Int (Rng.choose c.rng c.consts)
   | `Zero -> P.Int (Int64.of_int (Rng.int c.rng 16))
   | `Var -> P.Var (Rng.choose c.rng env.scalars)
   | `Idx ->
@@ -216,8 +223,9 @@ and gen_block c env ~mult ~n : P.stmt list =
 
 type gdecl = { d_name : string; d_module : int; d_static : bool; d_kind : [ `Scalar of int64 | `Array of int ] }
 
-let program seed =
+let program ?(span_stress = false) seed =
   let rng = Rng.create seed in
+  let consts = if span_stress then constants @ span_constants else constants in
   let nmods = 1 + Rng.int rng 3 in
   (* data globals *)
   let gctr = ref 0 in
@@ -228,7 +236,7 @@ let program seed =
       incr gctr;
       decls :=
         { d_name = name; d_module = m; d_static = Rng.int rng 4 = 0;
-          d_kind = `Scalar (Rng.choose rng constants) }
+          d_kind = `Scalar (Rng.choose rng consts) }
         :: !decls
     done;
     for _ = 1 to Rng.int rng 3 do
@@ -249,6 +257,36 @@ let program seed =
       { d_name = name; d_module = Rng.int rng nmods; d_static = false;
         d_kind = `Array (Rng.choose rng [ 4096; 8192 ]) }
       :: !decls
+  end;
+  if span_stress then begin
+    (* Straddle the 16-bit GP window on purpose. A 64KB common lands at
+       the end of the sorted commons and swallows the window edge; a few
+       extra scalars jitter where (in bytes) the edge falls; small static
+       arrays go to .sbss/.bss behind the commons, so their bases sit
+       just past the edge. Span decisions then flip within a handful of
+       bytes across seeds. *)
+    let name = Printf.sprintf "ar%d" !gctr in
+    incr gctr;
+    decls :=
+      { d_name = name; d_module = Rng.int rng nmods; d_static = false;
+        d_kind = `Array 8192 }
+      :: !decls;
+    for _ = 1 to Rng.int rng 8 do
+      let name = Printf.sprintf "g%d" !gctr in
+      incr gctr;
+      decls :=
+        { d_name = name; d_module = Rng.int rng nmods; d_static = false;
+          d_kind = `Scalar (Rng.choose rng consts) }
+        :: !decls
+    done;
+    for _ = 1 to 3 + Rng.int rng 4 do
+      let name = Printf.sprintf "ar%d" !gctr in
+      incr gctr;
+      decls :=
+        { d_name = name; d_module = Rng.int rng nmods; d_static = true;
+          d_kind = `Array (Rng.choose rng [ 2; 4; 16 ]) }
+        :: !decls
+    done
   end;
   let decls = List.rev !decls in
   (* function signatures; bodies come later, in index order *)
@@ -341,10 +379,33 @@ let program seed =
         if s.s_pv_free then []
         else List.map (fun (pv, _, arity) -> (pv, arity)) pvs
       in
-      let c = { rng; budget = fn_budget; fresh = 0; callables; pvs = fpvs } in
+      let c =
+        { rng; budget = fn_budget; fresh = 0; callables; pvs = fpvs; consts }
+      in
       let env = base_env s.s_module s.s_params in
       let n = 1 + Rng.int rng 4 in
       let body = gen_block c env ~mult:1 ~n in
+      (* span stress: pad the first function with a long straight line of
+         cheap statements, stretching every branch and call span over it
+         and pushing later procedures' entries (and so their GAT and
+         GP-setup displacements) far from their optimistic guesses *)
+      let body =
+        if span_stress && i = 0 then begin
+          let n = 300 + Rng.int rng 500 in
+          charge c ~mult:1 (2 * n);
+          let x = fresh c "pad" in
+          P.Let (x, P.Int 1L)
+          :: List.init n (fun k ->
+                 P.Assign
+                   ( x,
+                     P.Bin
+                       ( (if k land 1 = 0 then P.Add else P.Bxor),
+                         P.Var x,
+                         P.Int (Int64.of_int k) ) ))
+          @ (P.Print (P.Var x) :: body)
+        end
+        else body
+      in
       let body = body @ [ P.Ret (gen_expr c env ~mult:1 ~depth:2) ] in
       s.s_cost <- max 40 (fn_budget - c.budget + 40);
       Hashtbl.replace bodies s.s_name body)
@@ -360,7 +421,8 @@ let program seed =
           List.filter
             (fun s -> (not s.s_static) || s.s_module = main_module)
             sigs;
-        pvs = List.map (fun (pv, _, arity) -> (pv, arity)) pvs }
+        pvs = List.map (fun (pv, _, arity) -> (pv, arity)) pvs;
+        consts }
     in
     let env = base_env main_module [] in
     (* bind every procedure variable before anything can call it *)

@@ -13,6 +13,15 @@
     estimated dynamic cost kept under a fixed instruction budget so
     simulation stays fast. The program prints a checksum of every
     reachable non-pointer global at exit, so silent data corruption
-    becomes an observable behavioral difference. *)
+    becomes an observable behavioral difference.
 
-val program : int -> Prog.t
+    With [span_stress] the draw is biased toward span boundaries: a 64KB
+    common array swallows the 16-bit GP-window edge (with scalar jitter
+    deciding exactly where the edge falls) while small static arrays land
+    past it, the first function is padded with hundreds of straight-line
+    statements so branch and call spans stretch over it, and the literal
+    mix includes both sides of the ldah/lda pair span. The same seed
+    yields different (but still deterministic) programs with the knob on
+    and off. *)
+
+val program : ?span_stress:bool -> int -> Prog.t

@@ -137,6 +137,12 @@ val fits_disp32 : int -> bool
 (** Whether a byte displacement is reachable by an [Ldah]/[Lda] pair, i.e.
     fits in a signed 32-bit span (accounting for the low part's sign). *)
 
+val split32_opt : int -> (int * int) option
+(** [split32_opt d] is [Some (hi, lo)] with [d = hi * 65536 + lo],
+    [-32768 <= lo < 32768], and [hi] fitting 16 signed bits — [None] if
+    [not (fits_disp32 d)]. The total-function form every link-time fixup
+    should use. *)
+
 val split32 : int -> int * int
 (** [split32 d] is [(hi, lo)] with [d = hi * 65536 + lo],
     [-32768 <= lo < 32768], and [hi] fitting 16 signed bits. Raises

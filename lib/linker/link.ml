@@ -153,11 +153,23 @@ let link_resolved ?gat_capacity (world : Resolve.t) =
                 let slot = Gat.slot_of gat ~m ~local_index:gat_index in
                 let slot_addr = Layout.data_base + lay.lita_off + (8 * slot) in
                 patch16 ~text_pos:(mbase + r.offset) (slot_addr - gp)
-            | Objfile.Reloc.Gpdisp { anchor; pair } ->
+            | Objfile.Reloc.Gpdisp { anchor; pair } -> (
                 let base_value = Layout.text_base + mbase + anchor in
-                let hi, lo = Isa.Insn.split32 (gp - base_value) in
-                patch16 ~text_pos:(mbase + r.offset) hi;
-                patch16 ~text_pos:(mbase + pair) lo
+                match Isa.Insn.split32_opt (gp - base_value) with
+                | Some (hi, lo) ->
+                    patch16 ~text_pos:(mbase + r.offset) hi;
+                    patch16 ~text_pos:(mbase + pair) lo
+                | None ->
+                    (* a GP displacement only leaves the 32-bit split when
+                       the relocation's anchor is corrupt — surface it as a
+                       link error instead of crashing mid-patch *)
+                    invalid_arg
+                      (Printf.sprintf
+                         "Link: GPDISP displacement %d out of range in %s \
+                          (offset %d, anchor %d): corrupt relocation?"
+                         (gp - base_value)
+                         world.Resolve.modules.(m).Objfile.Cunit.name r.offset
+                         anchor))
             | Objfile.Reloc.Lituse_base _ | Objfile.Reloc.Lituse_jsr _ -> ()
             | Objfile.Reloc.Refquad { symbol; addend } ->
                 let addr =

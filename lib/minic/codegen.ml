@@ -21,9 +21,11 @@ let arg_regs = R.[ a0; a1; a2; a3; a4; a5 ]
    top is 0x7fff7fff, because 0x7fff8000..0x7fffffff would need
    hi = 0x8000, which overflows ldah's displacement (the bottom extends
    a little past -2^31 for the mirror reason). Anything outside goes to
-   the literal pool. *)
+   the literal pool. [Isa.Insn.fits_disp32] is that exact span; asking it
+   keeps this bet and the link-time split in one place. *)
 let fits32_64 v =
-  Int64.compare v (-2147516416L) >= 0 && Int64.compare v 2147450879L <= 0
+  Int64.equal v (Int64.of_int (Int64.to_int v))
+  && I.fits_disp32 (Int64.to_int v)
 
 let fits16_64 v =
   Int64.compare v (-32768L) >= 0 && Int64.compare v 32767L <= 0

@@ -65,56 +65,108 @@ let assign_offsets (program : S.program) ~align ~(aligned_labels : (S.label, uni
     pad_offsets = List.rev !pads;
     text_size = !off }
 
+let label_offsets (program : S.program) placement =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun (proc : S.proc) ->
+      List.iter
+        (fun (n : S.node) ->
+          match Hashtbl.find_opt placement.node_off n.S.nid with
+          | Some o -> List.iter (fun l -> Hashtbl.replace tbl l o) n.S.labels
+          | None -> ())
+        proc.S.body)
+    program.S.procs;
+  tbl
+
+(* Full placement, shared with {!Relax}: labels that are targets of
+   backward branches (tentative placement without padding decides
+   direction) get quadword-aligned when the options ask for it. *)
+let place ?(options = default_options) (program : S.program) =
+  let aligned_labels : (S.label, unit) Hashtbl.t = Hashtbl.create 64 in
+  if options.align_branch_targets then begin
+    let tentative =
+      assign_offsets program ~align:false ~aligned_labels:(Hashtbl.create 0)
+    in
+    let t_labels = label_offsets program tentative in
+    S.iter_nodes program (fun _proc n ->
+        match n.S.insn with
+        | S.Branch { target; _ } -> (
+            match
+              ( Hashtbl.find_opt tentative.node_off n.S.nid,
+                Hashtbl.find_opt t_labels target )
+            with
+            | Some bo, Some to_ when to_ <= bo ->
+                Hashtbl.replace aligned_labels target ()
+            | _ -> ())
+        | _ -> ());
+    (* never pad at a GPDISP anchor: the anchor must stay exactly at the
+       call's return point *)
+    S.iter_nodes program (fun _proc n ->
+        match n.S.insn with
+        | S.Gpsetup_hi { anchor = S.Alocal l; _ } ->
+            Hashtbl.remove aligned_labels l
+        | _ -> ())
+  end;
+  assign_offsets program ~align:options.align_branch_targets ~aligned_labels
+
+(* GAT slot allocation: first-reference order over the whole program, per
+   group. Deterministic, so {!Relax} can precompute the very addresses
+   [run] will patch in. *)
+type gat_alloc = {
+  ga_tables : (S.pool_key, int) Hashtbl.t array;  (* per group: key -> slot *)
+  ga_counts : int array;
+}
+
+let alloc_gat_exn (program : S.program) (plan : Datalayout.plan) =
+  let tables =
+    Array.init plan.Datalayout.ngroups (fun _ -> Hashtbl.create 32)
+  in
+  let counts = Array.make plan.Datalayout.ngroups 0 in
+  Array.iter
+    (fun (proc : S.proc) ->
+      let group = plan.Datalayout.group_of_module.(proc.S.sp_module) in
+      List.iter
+        (fun (n : S.node) ->
+          match n.S.insn with
+          | S.Gatload { key; _ } | S.Gatload_wide { key; _ } ->
+              let tbl = tables.(group) in
+              if not (Hashtbl.mem tbl key) then begin
+                let s = counts.(group) in
+                if (s + 1) * 8 > plan.Datalayout.group_gat_bytes.(group) then
+                  fail "GAT group %d overflows its reservation (%d bytes)"
+                    group
+                    plan.Datalayout.group_gat_bytes.(group);
+                counts.(group) <- s + 1;
+                Hashtbl.replace tbl key s
+              end
+          | _ -> ())
+        proc.S.body)
+    program.S.procs;
+  { ga_tables = tables; ga_counts = counts }
+
+let alloc_gat program plan =
+  match alloc_gat_exn program plan with
+  | ga -> Ok ga
+  | exception Lower_error m -> Error m
+
+let gat_slot_addr (plan : Datalayout.plan) ga ~group key =
+  match Hashtbl.find_opt ga.ga_tables.(group) key with
+  | Some s -> L.data_base + plan.Datalayout.group_gat_off.(group) + (8 * s)
+  | None -> fail "GAT key was never allocated a slot"
+
+let invert_cond = function
+  | I.Beq -> I.Bne | I.Bne -> I.Beq
+  | I.Blt -> I.Bge | I.Bge -> I.Blt
+  | I.Ble -> I.Bgt | I.Bgt -> I.Ble
+  | I.Blbc -> I.Blbs | I.Blbs -> I.Blbc
+
 let run ?(options = default_options) (program : S.program)
     (plan : Datalayout.plan) =
   try
     let world = program.S.world in
-    (* find labels that are targets of backward branches (tentative
-       placement without padding decides direction) *)
-    let aligned_labels : (S.label, unit) Hashtbl.t = Hashtbl.create 64 in
-    let tentative =
-      assign_offsets program ~align:false ~aligned_labels:(Hashtbl.create 0)
-    in
-    let label_off_of placement =
-      let tbl = Hashtbl.create 256 in
-      Array.iter
-        (fun (proc : S.proc) ->
-          List.iter
-            (fun (n : S.node) ->
-              match Hashtbl.find_opt placement.node_off n.S.nid with
-              | Some o -> List.iter (fun l -> Hashtbl.replace tbl l o) n.S.labels
-              | None -> ())
-            proc.S.body)
-        program.S.procs;
-      tbl
-    in
-    if options.align_branch_targets then begin
-      let t_labels = label_off_of tentative in
-      S.iter_nodes program (fun _proc n ->
-          match n.S.insn with
-          | S.Branch { target; _ } -> (
-              match
-                ( Hashtbl.find_opt tentative.node_off n.S.nid,
-                  Hashtbl.find_opt t_labels target )
-              with
-              | Some bo, Some to_ when to_ <= bo ->
-                  Hashtbl.replace aligned_labels target ()
-              | _ -> ())
-          | _ -> ());
-      (* never pad at a GPDISP anchor: the anchor must stay exactly at the
-         call's return point *)
-      S.iter_nodes program (fun _proc n ->
-          match n.S.insn with
-          | S.Gpsetup_hi { anchor = S.Alocal l; _ } ->
-              Hashtbl.remove aligned_labels l
-          | _ -> ())
-    end;
-    let placement =
-      assign_offsets program ~align:options.align_branch_targets
-        ~aligned_labels
-    in
+    let placement = place ~options program in
     let label_addr =
-      let tbl = label_off_of placement in
+      let tbl = label_offsets program placement in
       fun l ->
         match Hashtbl.find_opt tbl l with
         | Some o -> L.text_base + o
@@ -130,24 +182,12 @@ let run ?(options = default_options) (program : S.program)
       | Linker.Resolve.Tproc p -> proc_addr.(p)
       | Linker.Resolve.Tobj _ as t -> Datalayout.address_of world plan t
     in
-    (* GAT slot allocation per group, on demand *)
-    let group_alloc = Array.init plan.Datalayout.ngroups (fun _ -> Hashtbl.create 32) in
-    let group_next = Array.make plan.Datalayout.ngroups 0 in
-    let slot_addr ~group key =
-      let tbl = group_alloc.(group) in
-      let slot =
-        match Hashtbl.find_opt tbl key with
-        | Some s -> s
-        | None ->
-            let s = group_next.(group) in
-            if (s + 1) * 8 > plan.Datalayout.group_gat_bytes.(group) then
-              fail "GAT group %d overflows its reservation (%d bytes)" group
-                plan.Datalayout.group_gat_bytes.(group);
-            group_next.(group) <- s + 1;
-            Hashtbl.replace tbl key s;
-            s
-      in
-      L.data_base + plan.Datalayout.group_gat_off.(group) + (8 * slot)
+    let ga = alloc_gat_exn program plan in
+    let slot_addr ~group key = gat_slot_addr plan ga ~group key in
+    let split32 what rel =
+      match I.split32_opt rel with
+      | Some pair -> pair
+      | None -> fail "%s: displacement %d exceeds the 32-bit split" what rel
     in
     (* encode text *)
     let text = Bytes.make placement.text_size '\000' in
@@ -168,24 +208,24 @@ let run ?(options = default_options) (program : S.program)
             | S.Raw i -> emit off i
             | S.Use { insn; _ } -> emit off insn
             | S.Gatload { ra; key } ->
-                let pool_key =
-                  match key with
-                  | S.Paddr (t, a) -> `Addr (t, a)
-                  | S.Pconst c -> `Const c
-                in
-                let sa = slot_addr ~group pool_key in
+                let sa = slot_addr ~group key in
                 let disp = sa - gp in
                 if not (I.fits_disp16 disp) then
                   fail "%s: GAT slot out of GP range (disp %d)" proc.S.sp_name
                     disp;
                 emit off (I.Ldq { ra; rb = R.gp; disp })
+            | S.Gatload_wide { ra; key } ->
+                let sa = slot_addr ~group key in
+                let hi, lo = split32 proc.S.sp_name (sa - gp) in
+                emit off (I.Ldah { ra; rb = R.gp; disp = hi });
+                emit (off + 4) (I.Ldq { ra; rb = ra; disp = lo })
             | S.Gpsetup_hi { base; anchor; lo_id } ->
                 let anchor_addr =
                   match anchor with
                   | S.Aentry -> L.text_base + placement.proc_off.(pi)
                   | S.Alocal l -> label_addr l
                 in
-                let hi, lo = I.split32 (gp - anchor_addr) in
+                let hi, lo = split32 proc.S.sp_name (gp - anchor_addr) in
                 Hashtbl.replace lo_values lo_id lo;
                 emit off (I.Ldah { ra = R.gp; rb = base; disp = hi })
             | S.Gpsetup_lo ->
@@ -227,19 +267,57 @@ let run ?(options = default_options) (program : S.program)
                         proc.S.sp_name rel;
                     emit off (rebuild rel)
                 | S.Phi ->
-                    let hi, _ = I.split32 rel in
+                    let hi, _ = split32 proc.S.sp_name rel in
                     emit off (rebuild hi)
                 | S.Plo extra ->
-                    let _, lo = I.split32 rel in
+                    let _, lo = split32 proc.S.sp_name rel in
                     if not (I.fits_disp16 (lo + extra)) then
                       fail "%s: low half %d does not fit" proc.S.sp_name
                         (lo + extra);
                     emit off (keep_base (lo + extra)))
             | S.Lea_wide { ra; target; addend } ->
                 let rel = address_of_target target + addend - gp in
-                let hi, lo = I.split32 rel in
+                let hi, lo = split32 proc.S.sp_name rel in
                 emit off (I.Ldah { ra; rb = R.gp; disp = hi });
-                emit (off + 4) (I.Lda { ra; rb = ra; disp = lo }))
+                emit (off + 4) (I.Lda { ra; rb = ra; disp = lo })
+            (* far branch forms: the scratch register picks up its own
+               address ([br scratch, 0] writes PC+4 and falls through),
+               then an ldah/lda pair turns it into the absolute target —
+               reaching anywhere within +-2GB of the site with no GP
+               dependence. A call keeps the callee address in [pv], which
+               is exactly what the callee's entry GP setup requires. *)
+            | S.Bsr_far { ra; target } ->
+                let anchor = addr + 4 in
+                let hi, lo =
+                  split32 proc.S.sp_name (label_addr target - anchor)
+                in
+                emit off (I.Br { ra = R.pv; disp = 0 });
+                emit (off + 4) (I.Ldah { ra = R.pv; rb = R.pv; disp = hi });
+                emit (off + 8) (I.Lda { ra = R.pv; rb = R.pv; disp = lo });
+                emit (off + 12)
+                  (I.Jump { kind = I.Jsr; ra; rb = R.pv; hint = 0 })
+            | S.Br_far { ra; target } ->
+                let anchor = addr + 4 in
+                let hi, lo =
+                  split32 proc.S.sp_name (label_addr target - anchor)
+                in
+                emit off (I.Br { ra = R.at; disp = 0 });
+                emit (off + 4) (I.Ldah { ra = R.at; rb = R.at; disp = hi });
+                emit (off + 8) (I.Lda { ra = R.at; rb = R.at; disp = lo });
+                emit (off + 12)
+                  (I.Jump { kind = I.Jmp; ra; rb = R.at; hint = 0 })
+            | S.Bcond_far { cond; ra; target } ->
+                let anchor = addr + 8 in
+                let hi, lo =
+                  split32 proc.S.sp_name (label_addr target - anchor)
+                in
+                emit off (I.Bcond { cond = invert_cond cond; ra; disp = 4 });
+                emit (off + 4) (I.Br { ra = R.at; disp = 0 });
+                emit (off + 8) (I.Ldah { ra = R.at; rb = R.at; disp = hi });
+                emit (off + 12) (I.Lda { ra = R.at; rb = R.at; disp = lo });
+                emit (off + 16)
+                  (I.Jump { kind = I.Jmp; ra = R.zero; rb = R.at; hint = 0 })
+            | S.Elided _ -> ())
           proc.S.body)
       program.S.procs;
     (* data region; sections om-gc found dead were given no space and
@@ -262,14 +340,14 @@ let run ?(options = default_options) (program : S.program)
           (fun key slot ->
             let v =
               match key with
-              | `Addr (t, a) -> Int64.of_int (address_of_target t + a)
-              | `Const c -> c
+              | S.Paddr (t, a) -> Int64.of_int (address_of_target t + a)
+              | S.Pconst c -> c
             in
             Bytes.set_int64_le data
               (plan.Datalayout.group_gat_off.(g) + (8 * slot))
               v)
           tbl)
-      group_alloc;
+      ga.ga_tables;
     (* refquads; ones homed in dead sections go with their section (their
        targets may be deleted procedures or dropped commons) *)
     Array.iteri
@@ -308,8 +386,8 @@ let run ?(options = default_options) (program : S.program)
             List.exists
               (fun (n : S.node) ->
                 match n.S.insn with
-                | S.Gatload _ | S.Gpsetup_hi _ | S.Gpsetup_lo | S.Gprel _
-                | S.Lea_wide _ -> true
+                | S.Gatload _ | S.Gatload_wide _ | S.Gpsetup_hi _
+                | S.Gpsetup_lo | S.Gprel _ | S.Lea_wide _ -> true
                 | _ -> false)
               proc.S.body
           in
@@ -340,7 +418,7 @@ let run ?(options = default_options) (program : S.program)
     in
     let entry_idx = world.Linker.Resolve.entry_proc in
     let gat_used =
-      Array.fold_left (fun acc n -> acc + (8 * n)) 0 group_next
+      Array.fold_left (fun acc n -> acc + (8 * n)) 0 ga.ga_counts
     in
     let image =
       { Linker.Image.text_base = L.text_base;

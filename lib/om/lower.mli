@@ -11,6 +11,37 @@ type options = { align_branch_targets : bool }
 
 val default_options : options
 
+type placement = {
+  node_off : (int, int) Hashtbl.t;  (** nid -> text offset *)
+  proc_off : int array;             (** per program proc *)
+  proc_end : int array;
+  pad_offsets : int list;           (** offsets where an alignment no-op goes *)
+  text_size : int;
+}
+(** Where every node lands in text. [Relax] iterates this to decide which
+    span-dependent sites fit; [run] recomputes the identical placement when
+    it finally encodes. *)
+
+val place : ?options:options -> Symbolic.program -> placement
+(** Assign final text offsets (with branch-target alignment padding when
+    the options ask for it), honouring each node's current
+    {!Symbolic.insn_of_width}. *)
+
+val label_offsets :
+  Symbolic.program -> placement -> (Symbolic.label, int) Hashtbl.t
+
+type gat_alloc = {
+  ga_tables : (Symbolic.pool_key, int) Hashtbl.t array;
+      (** per group: key -> slot index *)
+  ga_counts : int array;
+}
+
+val alloc_gat :
+  Symbolic.program -> Datalayout.plan -> (gat_alloc, string) result
+(** Allocate GAT slots in first-reference program order — deterministic,
+    so a relaxation pass sees the same slot addresses [run] will encode.
+    Fails if a group outgrows its reservation. *)
+
 val run :
   ?options:options -> Symbolic.program -> Datalayout.plan ->
   (Linker.Image.t * int, string) result

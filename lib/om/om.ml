@@ -6,6 +6,7 @@ module Datalayout = Datalayout
 module Transform = Transform
 module Gc = Gc
 module Sched = Sched
+module Relax = Relax
 module Lower = Lower
 module Stats = Stats
 module Verify = Verify
@@ -169,15 +170,34 @@ let optimize_program ?transform_options level (program : S.program) =
       let options =
         { Lower.align_branch_targets = (level = Full_sched) }
       in
-      match Obs.Trace.span "lower" (fun () -> Lower.run ~options program plan)
-      with
-      | Error m -> Error ("om: lower: " ^ m)
-      | Ok (image, gat_used) -> (
-          stats.Stats.gat_bytes_after <- gat_used;
-          (* a second pair of eyes over the rewritten bytes *)
-          match Obs.Trace.span "verify" (fun () -> Verify.check image) with
-          | Ok () -> Ok { image; stats }
-          | Error m -> Error ("om: verify: " ^ m)))
+      (* the Full levels made optimistic span choices; the relaxation
+         fixed point grows only what provably doesn't fit (and elides
+         branches to the next instruction, re-plans the data region
+         around the exact surviving GAT). The conservative levels keep
+         the one-shot emission and double as relaxation's oracle. *)
+      let relaxed =
+        match level with
+        | Full | Full_sched | Gc ->
+            Obs.Trace.span ~counters "relax" (fun () ->
+                Relax.run ~options program plan stats)
+        | No_opt | Simple -> Ok plan
+      in
+      match relaxed with
+      | Error m -> Error ("om: relax: " ^ m)
+      | Ok plan -> (
+          (match level with
+          | No_opt -> ()
+          | _ -> stats.Stats.insns_after <- S.static_insn_count program);
+          match
+            Obs.Trace.span "lower" (fun () -> Lower.run ~options program plan)
+          with
+          | Error m -> Error ("om: lower: " ^ m)
+          | Ok (image, gat_used) -> (
+              stats.Stats.gat_bytes_after <- gat_used;
+              (* a second pair of eyes over the rewritten bytes *)
+              match Obs.Trace.span "verify" (fun () -> Verify.check image) with
+              | Ok () -> Ok { image; stats }
+              | Error m -> Error ("om: verify: " ^ m))))
 
 let optimize_resolved ?transform_options level (world : Linker.Resolve.t) =
   Obs.Trace.span ("om:" ^ level_name level) @@ fun () ->

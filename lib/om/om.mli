@@ -7,6 +7,7 @@ module Datalayout : module type of Datalayout
 module Transform : module type of Transform
 module Gc : module type of Gc
 module Sched : module type of Sched
+module Relax : module type of Relax
 module Lower : module type of Lower
 module Stats : module type of Stats
 module Verify : module type of Verify

@@ -1,0 +1,30 @@
+(** Span-dependent instruction relaxation.
+
+    Runs between scheduling and lowering at the Full levels. Three steps,
+    all driven by the same placement logic {!Lower} will use to encode:
+
+    - {b exact-GAT replanning}: the layout plan reserved a pre-transform
+      superset of GAT entries; re-plan the data region around the entries
+      that actually survived, validating every committed gp-relative site
+      under the tighter plan and reverting wholesale if any would break
+      (the conservative plan is always a correct upper bound);
+    - {b narrowing}: sites the tighter plan brought into range take their
+      short form (an [ldah]/[lda] pair becomes one gp-relative [lda]);
+    - {b the fixed point}: branches to the very next instruction are
+      elided, and branches or GAT loads that provably do not fit grow to
+      their long forms ({!Symbolic.Bsr_far} etc.). Site sizes move
+      monotonically, so the loop terminates after at most one pass per
+      site — Dickson's linear-time argument for the branch-displacement
+      problem.
+
+    The pass mutates the program's nodes and returns the (possibly
+    re-planned) layout the caller must hand to {!Lower.run}. Counters for
+    elided/narrowed/grown sites, passes, and freed GAT bytes land in the
+    given {!Stats.t}. *)
+
+val run :
+  ?options:Lower.options ->
+  Symbolic.program ->
+  Datalayout.plan ->
+  Stats.t ->
+  (Datalayout.plan, string) result

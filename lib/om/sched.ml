@@ -30,10 +30,23 @@ let node_of_sinsn (si : S.sinsn) : Isa.Schedule.node =
   | S.Lea_wide { ra; _ } ->
       { (Isa.Schedule.node_of_insn (I.Lda { ra; rb = R.gp; disp = 0 })) with
         latency = 2 }
+  | S.Gatload_wide { ra; _ } ->
+      { (Isa.Schedule.node_of_insn (I.Ldq { ra; rb = R.gp; disp = 0 })) with
+        latency = 2 }
+  (* relaxation-introduced forms only exist after scheduling; treat them
+     as barriers so a stray one is never reordered *)
+  | S.Bsr_far { ra; _ } ->
+      Isa.Schedule.node_of_insn ~barrier:true (I.Bsr { ra; disp = 0 })
+  | S.Br_far { ra; _ } ->
+      Isa.Schedule.node_of_insn ~barrier:true (I.Br { ra; disp = 0 })
+  | S.Bcond_far { cond; ra; _ } ->
+      Isa.Schedule.node_of_insn ~barrier:true (I.Bcond { cond; ra; disp = 0 })
+  | S.Elided _ ->
+      Isa.Schedule.node_of_insn ~barrier:true I.nop
 
 let is_barrier (n : S.node) =
   match n.S.insn with
-  | S.Branch _ -> true
+  | S.Branch _ | S.Bsr_far _ | S.Br_far _ | S.Bcond_far _ | S.Elided _ -> true
   | S.Raw i -> I.is_branch i || (match i with I.Call_pal _ -> true | _ -> false)
   | S.Use { insn; _ } -> I.is_branch insn
   | _ -> false

@@ -21,6 +21,11 @@ type t = {
   mutable procs_deleted : int;
   mutable gc_insns_deleted : int;
   mutable data_bytes_deleted : int;
+  mutable branches_elided : int;
+  mutable sites_narrowed : int;
+  mutable sites_grown : int;
+  mutable relax_iterations : int;
+  mutable relax_gat_bytes_freed : int;
 }
 
 let create () =
@@ -45,7 +50,12 @@ let create () =
     pvs_devirtualized = 0;
     procs_deleted = 0;
     gc_insns_deleted = 0;
-    data_bytes_deleted = 0 }
+    data_bytes_deleted = 0;
+    branches_elided = 0;
+    sites_narrowed = 0;
+    sites_grown = 0;
+    relax_iterations = 0;
+    relax_gat_bytes_freed = 0 }
 
 let measure_before (program : Symbolic.program) (als : Analysis.t) t =
   t.insns_before <- Symbolic.static_insn_count program;
@@ -105,7 +115,12 @@ let to_alist t =
     ("pvs_devirtualized", t.pvs_devirtualized);
     ("procs_deleted", t.procs_deleted);
     ("gc_insns_deleted", t.gc_insns_deleted);
-    ("data_bytes_deleted", t.data_bytes_deleted) ]
+    ("data_bytes_deleted", t.data_bytes_deleted);
+    ("branches_elided", t.branches_elided);
+    ("sites_narrowed", t.sites_narrowed);
+    ("sites_grown", t.sites_grown);
+    ("relax_iterations", t.relax_iterations);
+    ("relax_gat_bytes_freed", t.relax_gat_bytes_freed) ]
 
 let pp ppf t =
   Format.fprintf ppf
@@ -122,4 +137,10 @@ let pp ppf t =
   if t.procs_deleted > 0 || t.data_bytes_deleted > 0 then
     Format.fprintf ppf
       "@,gc: %d procedure(s) deleted (%d insns), %d data bytes dropped"
-      t.procs_deleted t.gc_insns_deleted t.data_bytes_deleted
+      t.procs_deleted t.gc_insns_deleted t.data_bytes_deleted;
+  if t.relax_iterations > 0 then
+    Format.fprintf ppf
+      "@,relax: %d pass(es); %d branch(es) elided, %d site(s) narrowed, %d \
+       grown; %d GAT bytes freed"
+      t.relax_iterations t.branches_elided t.sites_narrowed t.sites_grown
+      t.relax_gat_bytes_freed

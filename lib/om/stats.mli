@@ -33,6 +33,18 @@ type t = {
       (** static instructions inside deleted procedures (om-gc) *)
   mutable data_bytes_deleted : int;
       (** bytes of dead data sections and commons dropped (om-gc) *)
+  mutable branches_elided : int;
+      (** branch-to-next instructions relaxation removed outright *)
+  mutable sites_narrowed : int;
+      (** span-dependent sites rewritten to a shorter form (e.g. an
+          [ldah]/[lda] pair to a single gp-relative [lda]) *)
+  mutable sites_grown : int;
+      (** sites that provably did not fit and took the long form *)
+  mutable relax_iterations : int;
+      (** placement fixed-point passes until no site changed size *)
+  mutable relax_gat_bytes_freed : int;
+      (** reservation bytes returned when the exact post-transform GAT
+          replaced the pre-transform superset plan *)
 }
 
 val create : unit -> t

@@ -23,6 +23,11 @@ type sinsn =
       part : part;
     }
   | Lea_wide of { ra : R.t; target : Linker.Resolve.target; addend : int }
+  | Gatload_wide of { ra : R.t; key : pool_key }
+  | Bsr_far of { ra : R.t; target : label }
+  | Br_far of { ra : R.t; target : label }
+  | Bcond_far of { cond : I.cond; ra : R.t; target : label }
+  | Elided of sinsn
 
 and part = Pfull | Phi | Plo of int
 
@@ -59,7 +64,12 @@ let make_node p insn =
   p.next_node <- nid + 1;
   { nid; labels = []; insn }
 
-let insn_of_width = function Lea_wide _ -> 2 | _ -> 1
+let insn_of_width = function
+  | Lea_wide _ | Gatload_wide _ -> 2
+  | Bsr_far _ | Br_far _ -> 4
+  | Bcond_far _ -> 5
+  | Elided _ -> 0
+  | _ -> 1
 
 let find_node proc id = List.find_opt (fun n -> n.nid = id) proc.body
 
@@ -74,6 +84,11 @@ let defs = function
   | Branch { insn; _ } -> I.defs insn
   | Gprel { insn; _ } -> I.defs insn
   | Lea_wide { ra; _ } -> [ ra ]
+  | Gatload_wide { ra; _ } -> [ ra ]
+  | Bsr_far { ra; _ } -> List.filter (fun r -> not (R.equal r R.zero)) [ ra; R.pv ]
+  | Br_far { ra; _ } -> List.filter (fun r -> not (R.equal r R.zero)) [ ra; R.at ]
+  | Bcond_far _ -> [ R.at ]
+  | Elided _ -> []
 
 let uses = function
   | Raw i -> I.uses i
@@ -94,6 +109,10 @@ let uses = function
           | _ -> []))
       | Plo _ -> I.uses insn)
   | Lea_wide _ -> [ R.gp ]
+  | Gatload_wide _ -> [ R.gp ]
+  | Bsr_far _ | Br_far _ -> []
+  | Bcond_far { ra; _ } -> List.filter (fun r -> not (R.equal r R.zero)) [ ra ]
+  | Elided _ -> []
 
 let static_insn_count p =
   Array.fold_left
@@ -101,7 +120,11 @@ let static_insn_count p =
       List.fold_left (fun acc n -> acc + insn_of_width n.insn) acc proc.body)
     0 p.procs
 
-let pp_sinsn world ppf = function
+let cond_name = function
+  | I.Beq -> "beq" | I.Bne -> "bne" | I.Blt -> "blt" | I.Ble -> "ble"
+  | I.Bge -> "bge" | I.Bgt -> "bgt" | I.Blbc -> "blbc" | I.Blbs -> "blbs"
+
+let rec pp_sinsn world ppf = function
   | Raw i -> I.pp ppf i
   | Gatload { ra; key } -> (
       match key with
@@ -126,11 +149,7 @@ let pp_sinsn world ppf = function
         match insn with
         | I.Br _ -> "br"
         | I.Bsr _ -> "bsr"
-        | I.Bcond { cond; _ } -> (
-            match cond with
-            | I.Beq -> "beq" | I.Bne -> "bne" | I.Blt -> "blt" | I.Ble -> "ble"
-            | I.Bge -> "bge" | I.Bgt -> "bgt" | I.Blbc -> "blbc"
-            | I.Blbs -> "blbs")
+        | I.Bcond { cond; _ } -> cond_name cond
         | _ -> "?"
       in
       Format.fprintf ppf "%s L%d" name target
@@ -146,6 +165,21 @@ let pp_sinsn world ppf = function
       Format.fprintf ppf "lea32 %a, &%s%+d(gp)" R.pp ra
         (Linker.Resolve.target_name world target)
         addend
+  | Gatload_wide { ra; key } -> (
+      match key with
+      | Paddr (t, a) ->
+          Format.fprintf ppf "ldq.w %a, lit[&%s%+d](gp)" R.pp ra
+            (Linker.Resolve.target_name world t)
+            a
+      | Pconst c -> Format.fprintf ppf "ldq.w %a, lit[%#Lx](gp)" R.pp ra c)
+  | Bsr_far { ra; target } ->
+      Format.fprintf ppf "bsr.far %a, L%d" R.pp ra target
+  | Br_far { ra; target } ->
+      Format.fprintf ppf "br.far %a, L%d" R.pp ra target
+  | Bcond_far { cond; ra; target } ->
+      Format.fprintf ppf "%s.far %a, L%d" (cond_name cond) R.pp ra target
+  | Elided inner ->
+      Format.fprintf ppf "(elided %a)" (pp_sinsn world) inner
 
 let pp_proc world ppf proc =
   Format.fprintf ppf "@[<v>%s (module %d, group %d):@," proc.sp_name

@@ -54,6 +54,23 @@ type sinsn =
   | Lea_wide of { ra : Isa.Reg.t; target : Linker.Resolve.target; addend : int }
       (** optimizer-introduced: load a 32-bit-reachable address in two
           instructions, [ldah ra, hi(gp); lda ra, lo(ra)] *)
+  | Gatload_wide of { ra : Isa.Reg.t; key : pool_key }
+      (** relaxation-introduced long form of {!Gatload} for a slot outside
+          the 16-bit GP window: [ldah ra, hi(gp); ldq ra, lo(ra)] *)
+  | Bsr_far of { ra : Isa.Reg.t; target : label }
+      (** relaxation-introduced long form of a [bsr] out of 21-bit span:
+          [br pv, 0; ldah pv, hi(pv); lda pv, lo(pv); jsr ra, (pv)] — the
+          callee address lands in [pv] exactly as the calling convention's
+          GP setup expects *)
+  | Br_far of { ra : Isa.Reg.t; target : label }
+      (** long form of [br]: same shape through the assembler temporary
+          [at], with [ra] still receiving the return address *)
+  | Bcond_far of { cond : Isa.Insn.cond; ra : Isa.Reg.t; target : label }
+      (** long form of a conditional branch: the inverted condition skips
+          a {!Br_far}-shaped sequence *)
+  | Elided of sinsn
+      (** relaxation deleted this branch-to-next; width 0, labels (and so
+          branch targets) on the node stay valid *)
 
 and part = Pfull | Phi | Plo of int
 
@@ -84,8 +101,9 @@ val fresh_label : program -> label
 val make_node : program -> sinsn -> node
 
 val insn_of_width : sinsn -> int
-(** Instructions a node expands to at lowering: 2 for [Lea_wide], 1
-    otherwise. *)
+(** Instructions a node expands to at lowering: 2 for [Lea_wide] and
+    [Gatload_wide], 4 for [Bsr_far]/[Br_far], 5 for [Bcond_far], 0 for
+    [Elided], 1 otherwise. *)
 
 val find_node : proc -> int -> node option
 (** Find a node of the procedure by id. *)

@@ -41,6 +41,22 @@ let image (img : Linker.Image.t) =
         (fun (p : Linker.Image.proc_info) ->
           let first = (p.entry - img.text_base) / 4 in
           let count = p.size / 4 in
+          let check_code_target addr what target =
+            if target < img.text_base || target >= text_end then
+              problem addr "%s target %#x outside text" what target
+            else if target land 3 <> 0 then
+              problem addr "%s target %#x is not instruction-aligned" what
+                target
+            else
+              match proc_of target with
+              | Some tp when String.equal tp.name p.name -> ()
+              | Some tp ->
+                  if not (valid_cross_target tp target) then
+                    problem addr
+                      "%s into the middle of %s (target %#x, entry %#x)" what
+                      tp.name target tp.entry
+              | None -> problem addr "%s target %#x in no procedure" what target
+          in
           (* the gp_setup_at_entry flag must match the bytes *)
           (if p.gp_setup_at_entry then
              match (insns.(first), insns.(first + 1)) with
@@ -52,20 +68,24 @@ let image (img : Linker.Image.t) =
           for k = first to first + count - 1 do
             let addr = img.text_base + (4 * k) in
             match insns.(k) with
-            | I.Br { disp; _ } | I.Bsr { disp; _ } | I.Bcond { disp; _ } -> (
-                let target = addr + 4 + (4 * disp) in
-                if target < img.text_base || target >= text_end then
-                  problem addr "branch target %#x outside text" target
-                else
-                  match proc_of target with
-                  | Some tp when String.equal tp.name p.name -> ()
-                  | Some tp ->
-                      if not (valid_cross_target tp target) then
-                        problem addr
-                          "branch into the middle of %s (target %#x, entry %#x)"
-                          tp.name target tp.entry
-                  | None ->
-                      problem addr "branch target %#x in no procedure" target)
+            | I.Br { ra = r; disp = 0 }
+              when (not (R.equal r R.zero)) && k + 3 < first + count -> (
+                match (insns.(k + 1), insns.(k + 2), insns.(k + 3)) with
+                | ( I.Ldah { ra = a1; rb = b1; disp = hi },
+                    I.Lda { ra = a2; rb = b2; disp = lo },
+                    I.Jump { rb = j; _ } )
+                  when R.equal a1 r && R.equal b1 r && R.equal a2 r
+                       && R.equal b2 r && R.equal j r ->
+                    (* a relaxed far branch: [br r, 0] captures the ldah's
+                       address, the ldah/lda pair adds a 32-bit
+                       displacement, and the jump transfers. Recompute the
+                       target from the bytes and hold it to the same rules
+                       as a direct branch. *)
+                    check_code_target addr "far branch"
+                      (addr + 4 + (hi * 65536) + lo)
+                | _ -> check_code_target addr "branch" (addr + 4))
+            | I.Br { disp; _ } | I.Bsr { disp; _ } | I.Bcond { disp; _ } ->
+                check_code_target addr "branch" (addr + 4 + (4 * disp))
             | I.Ldq { ra = rdest; rb; disp } when R.equal rb R.gp ->
                 let a = p.gp_value + disp in
                 if a < img.data_base || a + 8 > data_end then
@@ -127,6 +147,16 @@ let image (img : Linker.Image.t) =
                 let a = p.gp_value + disp in
                 if a < img.data_base || a >= data_end then
                   problem addr "gp-relative address %#x outside data" a
+            | I.Ldah { ra; rb; disp = hi }
+              when R.equal rb R.gp && not (R.equal ra R.gp) ->
+                (* the hi half of a two-instruction GP-relative address
+                   (lea-wide, wide GAT load, or the LDAH trick): whatever
+                   lo lands later can move it by at most 32K, so the hi
+                   part alone must already point within 32K of the data
+                   segment *)
+                let a = p.gp_value + (hi * 65536) in
+                if a < img.data_base - 0x8000 || a > data_end + 0x8000 then
+                  problem addr "ldah off gp reaches %#x, far outside data" a
             | I.Ldah { ra; rb; disp = hi } when R.equal ra R.gp && R.equal rb R.pv
               -> (
                 (* a prologue GP setup: its pair must recompute gp_value *)

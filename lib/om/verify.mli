@@ -10,6 +10,12 @@
     - the text decodes, and every PC-relative branch lands on an
       instruction boundary inside the same procedure or on a procedure
       entry / post-GP-setup point of another one;
+    - relaxed far-branch sequences ([br r, 0]; [ldah r, hi(r)];
+      [lda r, lo(r)]; [jmp/jsr (r)]) are recomputed from the bytes and
+      their synthesized target held to the same rules as a direct branch;
+    - every [ldah rX, hi(gp)] with [rX <> gp] (the hi half of a
+      two-instruction GP-relative address) points within 32K of the data
+      segment — the most a lo part could still correct;
     - every GP-relative quadword load ([ldq rX, d(gp)]) falls inside the
       image's data region;
     - when such a load reads a GAT slot, the slot's {e value} is checked

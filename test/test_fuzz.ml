@@ -285,6 +285,76 @@ let test_pair_corner_constants () =
   | Ok () -> ()
   | Error f -> Alcotest.failf "corner constants: %a" Fuzz.Oracle.pp_failure f
 
+let test_displacement_predicate_edges () =
+  (* the exact flip points of every span predicate the relaxation and
+     the emitters decide by — one off in either direction is the class
+     of bug the seed-6 reproducer above caught in the wild *)
+  let module I = Isa.Insn in
+  List.iter
+    (fun (what, ok, v) ->
+      Alcotest.(check bool) (Printf.sprintf "%s %d" what v) ok
+        (match what with
+        | "disp16" -> I.fits_disp16 v
+        | "disp21" -> I.fits_disp21 v
+        | _ -> I.fits_disp32 v))
+    [ ("disp16", true, 32767); ("disp16", false, 32768);
+      ("disp16", true, -32768); ("disp16", false, -32769);
+      ("disp21", true, 1048575); ("disp21", false, 1048576);
+      ("disp21", true, -1048576); ("disp21", false, -1048577);
+      ("disp32", true, 0x7fff7fff); ("disp32", false, 0x7fff8000);
+      ("disp32", true, -0x80008000); ("disp32", false, -0x80008001) ];
+  (* split32_opt agrees with fits_disp32 and actually reconstructs *)
+  List.iter
+    (fun v ->
+      match Isa.Insn.split32_opt v with
+      | Some (hi, lo) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "split32_opt %d in the span" v)
+            true (Isa.Insn.fits_disp32 v);
+          Alcotest.(check int)
+            (Printf.sprintf "split32_opt %d reconstructs" v)
+            v
+            ((hi * 65536) + lo);
+          Alcotest.(check bool)
+            (Printf.sprintf "split32_opt %d halves fit" v)
+            true
+            (Isa.Insn.fits_disp16 hi && Isa.Insn.fits_disp16 lo)
+      | None ->
+          Alcotest.(check bool)
+            (Printf.sprintf "split32_opt %d outside the span" v)
+            false (Isa.Insn.fits_disp32 v))
+    [ 0; 1; -1; 32767; 32768; -32768; -32769; 0x12345678; -0x12345678;
+      0x7fff7fff; 0x7fff8000; -0x80008000; -0x80008001 ]
+
+let test_pair_constant_edges_all_levels () =
+  (* the same flip point end to end: the largest pair-buildable constant
+     and its successor (which must detour through the literal pool) print
+     identically at every link level *)
+  let out =
+    Testutil.run_all_levels
+      {|func main() {
+          io_putint(2147450879);
+          io_putint(2147450880);
+          io_putint(0 - 2147516416);
+          io_putint(0 - 2147516417);
+          return 0; }|}
+  in
+  Alcotest.(check string) "edge constants print exactly"
+    "21474508792147450880-2147516416-2147516417" out
+
+let test_span_stress_smoke () =
+  (* a few span-stress cases through all three oracles: the biased
+     generator (GP-window-edge data, padded first procedure, pair-edge
+     literals) must still agree with the conservative oracle *)
+  for index = 0 to 3 do
+    let cs = Fuzz.case_seed ~seed:7 ~index in
+    match Fuzz.run_case ~span_stress:true cs with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "span-stress case %d (seed %d): %a" index cs
+          Fuzz.Oracle.pp_failure f
+  done
+
 let suite =
   ( "fuzz",
     [ Alcotest.test_case "generation is deterministic" `Quick
@@ -308,4 +378,10 @@ let suite =
       Alcotest.test_case "split32 shrunk reproducer (seed 6, case 151)" `Quick
         test_split32_shrunk_reproducer;
       Alcotest.test_case "ldah/lda corner constants" `Quick
-        test_pair_corner_constants ] )
+        test_pair_corner_constants;
+      Alcotest.test_case "displacement predicate edges" `Quick
+        test_displacement_predicate_edges;
+      Alcotest.test_case "pair constant edges at all levels" `Quick
+        test_pair_constant_edges_all_levels;
+      Alcotest.test_case "span-stress cases pass all oracles" `Slow
+        test_span_stress_smoke ] )

@@ -217,6 +217,26 @@ let test_gp_anchor_patch () =
         (p.entry + (hi * 65536) + lo)
   | _ -> Alcotest.fail "no GP setup pair found in main"
 
+let test_gpdisp_out_of_range_is_link_error () =
+  (* a corrupt GPDISP anchor pushes the GP displacement past the 32-bit
+     ldah/lda split: the linker must answer with a structured error, not
+     an exception out of split32 *)
+  let a = compile ~name:"a.o" {|func main() { return 0; }|} in
+  let corrupt =
+    { a with
+      Objfile.Cunit.relocs =
+        Objfile.Reloc.v ~section:Objfile.Section.Text ~offset:0
+          (Objfile.Reloc.Gpdisp { anchor = -0x7000_0000; pair = 4 })
+        :: a.Objfile.Cunit.relocs }
+  in
+  match Linker.Link.link [ corrupt ] ~archives:[ Runtime.libstd () ] with
+  | Ok _ -> Alcotest.fail "expected a GPDISP range error"
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names GPDISP (got %S)" m)
+        true
+        (contains ~affix:"GPDISP" m)
+
 let suite =
   ( "linker",
     [ Alcotest.test_case "duplicate definition" `Quick test_duplicate_definition;
@@ -232,4 +252,6 @@ let suite =
       Alcotest.test_case "literal displacements" `Quick
         test_literal_displacements_in_window;
       Alcotest.test_case "image metadata" `Quick test_image_metadata;
-      Alcotest.test_case "GPDISP patching" `Quick test_gp_anchor_patch ] )
+      Alcotest.test_case "GPDISP patching" `Quick test_gp_anchor_patch;
+      Alcotest.test_case "GPDISP out of range is a link error" `Quick
+        test_gpdisp_out_of_range_is_link_error ] )
